@@ -1,0 +1,278 @@
+// Benchmarks regenerating every figure and claim of the paper's evaluation
+// (see DESIGN.md's per-experiment index), plus microbenchmarks of the
+// simulation substrates. Figure benchmarks run a scaled sweep per
+// iteration and report the headline completion times as custom metrics;
+// run cmd/experiments for the full plots.
+package protean_test
+
+import (
+	"testing"
+
+	"protean/internal/arm"
+	"protean/internal/asm"
+	"protean/internal/bus"
+	"protean/internal/core"
+	"protean/internal/exp"
+	"protean/internal/fabric"
+	"protean/internal/kernel"
+	"protean/internal/workload"
+)
+
+// benchScale keeps each figure sweep to a few seconds; cmd/experiments
+// defaults to a finer scale and -scale 1 is the paper-size run.
+var benchScale = exp.Scale{Factor: 400}
+
+// BenchmarkFig2BasicScheduling regenerates Figure 2: completion time vs
+// concurrent instances for {echo, alpha, twofish} x {round robin, random}
+// x {10ms, 1ms}.
+func BenchmarkFig2BasicScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Figure2(benchScale, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := fig.SeriesByLabel("Alpha, Round Robin, 1ms"); ok {
+			if y, ok := s.At(exp.MaxInstances); ok {
+				b.ReportMetric(float64(y), "alpha-rr-1ms-n8-cycles")
+			}
+		}
+		if s, ok := fig.SeriesByLabel("Alpha, Round Robin, 10ms"); ok {
+			if y, ok := s.At(exp.MaxInstances); ok {
+				b.ReportMetric(float64(y), "alpha-rr-10ms-n8-cycles")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3SoftwareDispatch regenerates Figure 3: software dispatch vs
+// circuit switching for {echo, alpha} x {10ms, 1ms}.
+func BenchmarkFig3SoftwareDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Figure3(benchScale, 1, false, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := fig.SeriesByLabel("Alpha, Soft, 1ms"); ok {
+			if y, ok := s.At(exp.MaxInstances); ok {
+				b.ReportMetric(float64(y), "alpha-soft-1ms-n8-cycles")
+			}
+		}
+	}
+}
+
+// BenchmarkClaimC5Speedups measures each application's acceleration over
+// its unaccelerated build.
+func BenchmarkClaimC5Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.SpeedupTable(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Speedup, r.App.String()+"-speedup-x")
+		}
+	}
+}
+
+// BenchmarkAblationPolicies compares the four replacement policies (A1).
+func BenchmarkAblationPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PolicyAblation(benchScale, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationConfigSplit measures the value of the §4.1 split
+// configuration (A2).
+func BenchmarkAblationConfigSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.ConfigSplitAblation(benchScale, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		split, _ := fig.SeriesByLabel("split (state frames)")
+		full, _ := fig.SeriesByLabel("full readback")
+		s8, _ := split.At(exp.MaxInstances)
+		f8, _ := full.At(exp.MaxInstances)
+		if s8 > 0 {
+			b.ReportMetric(float64(f8)/float64(s8), "full-vs-split-ratio")
+		}
+	}
+}
+
+// BenchmarkAblationTLB measures dispatch-TLB pressure (A3).
+func BenchmarkAblationTLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TLBAblation(benchScale, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Entries == 2 {
+				b.ReportMetric(float64(r.MappingFaults), "mapping-faults-2-entry")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationQuantum sweeps the scheduling quantum (A4).
+func BenchmarkAblationQuantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.QuantumSweep(benchScale, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSharing measures circuit-instance sharing (A5).
+func BenchmarkAblationSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.SharingAblation(benchScale, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkTLBLookup measures one dispatch CAM probe.
+func BenchmarkTLBLookup(b *testing.B) {
+	tlb := core.NewTLB(16)
+	for i := 0; i < 16; i++ {
+		tlb.Insert(core.IDTuple{PID: uint32(i), CID: uint32(i)}, uint32(i%4))
+	}
+	key := core.IDTuple{PID: 15, CID: 15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Lookup(key)
+	}
+}
+
+// BenchmarkInterpreter measures raw ARM interpretation speed on a tight
+// arithmetic loop (reports simulated cycles per second).
+func BenchmarkInterpreter(b *testing.B) {
+	src := `
+	ldr r4, =1000000000
+spin:
+	add r0, r0, r4
+	eor r1, r0, r4, lsl #3
+	subs r4, r4, #1
+	bne spin
+	swi 0
+`
+	prog, err := asm.Assemble(src, 0x8000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bb := bus.New()
+	bb.MustMap(0, bus.NewRAM(1<<20))
+	cpu := arm.New(bb)
+	bb.LoadBytes(prog.Origin, prog.Code)
+	cpu.SetCPSR(uint32(arm.ModeSys) | arm.FlagI | arm.FlagF)
+	cpu.R[arm.PC] = prog.Origin
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Step()
+	}
+	b.ReportMetric(float64(cpu.Cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkBehaviouralPFU measures one behavioural custom-instruction
+// cycle.
+func BenchmarkBehaviouralPFU(b *testing.B) {
+	img := workload.AlphaImage()
+	m, err := img.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(uint32(i), ^uint32(i), i%8 == 0)
+	}
+}
+
+// BenchmarkGatePFU measures one gate-level fabric cycle of the placed
+// alpha-blend circuit (500-CLB array).
+func BenchmarkGatePFU(b *testing.B) {
+	n := fabric.AlphaBlend()
+	fabric.Optimize(n)
+	cfg, _, err := fabric.Place(n, fabric.DefaultPFUSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pfu, err := fabric.NewPFU(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pfu.Step(uint32(i), ^uint32(i), i%8 == 0)
+	}
+}
+
+// BenchmarkConfigLoad measures a full PFU configuration (image
+// instantiation + reset), the operation the CIS performs on every load.
+func BenchmarkConfigLoad(b *testing.B) {
+	rfu := core.New(core.DefaultConfig)
+	img := workload.AlphaImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rfu.LoadImage(i%4, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitstreamDecode measures decoding a full 54 KB static image,
+// part of gate-level configuration loading.
+func BenchmarkBitstreamDecode(b *testing.B) {
+	n := fabric.SeqMul16()
+	fabric.Optimize(n)
+	cfg, _, err := fabric.Place(n, fabric.DefaultPFUSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits, err := fabric.EncodeStatic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(bits)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fabric.Decode(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssembleTwofish measures assembling the largest application
+// image (twofish with its 4 KB of tables), done once per spawned instance.
+func BenchmarkAssembleTwofish(b *testing.B) {
+	app, err := workload.BuildTwofish(100, workload.ModeHW)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(app.Source, kernel.RegionSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario measures one end-to-end kernel run (4 alpha instances,
+// no contention) per iteration.
+func BenchmarkScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(exp.Scenario{
+			App:       workload.Alpha,
+			Mode:      workload.ModeHWOnly,
+			Instances: 4,
+			Quantum:   benchScale.Quantum(exp.Quantum10ms),
+			Scale:     benchScale,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

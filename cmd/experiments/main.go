@@ -1,0 +1,175 @@
+// Command experiments regenerates the paper's evaluation: Figure 2 (basic
+// scheduling test), Figure 3 (software dispatch test), the claim checks,
+// and the ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-fig 2|3|all] [-scale N] [-seed S] [-csv dir] [-quiet]
+//
+// -scale divides the paper-size experiment (see internal/exp.Scale); the
+// default of 100 reproduces every figure in a couple of minutes. -scale 1
+// is the full-size run (~10^8–10^9 cycles per point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"protean/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, ablations, claims, all")
+	scaleF := flag.Int("scale", 100, "scale divisor (1 = paper size)")
+	seed := flag.Int64("seed", 1, "seed for the random replacement policy")
+	csvDir := flag.String("csv", "", "directory to write CSV files into")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress")
+	twofish3 := flag.Bool("fig3-twofish", false, "include the twofish series the paper omits from figure 3")
+	flag.Parse()
+
+	scale := exp.Scale{Factor: *scaleF}
+	var progress exp.Progress
+	if !*quiet {
+		progress = os.Stderr
+	}
+
+	if err := run(*fig, scale, *seed, *csvDir, *twofish3, progress, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool, progress exp.Progress, out io.Writer) error {
+	saveCSV := func(name string, f *exp.Figure) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(csvDir, name), []byte(f.CSV()), 0o644)
+	}
+
+	var fig2, fig3 *exp.Figure
+	var err error
+
+	if which == "2" || which == "all" || which == "claims" {
+		fig2, err = exp.Figure2(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig2.ASCII(64, 20))
+		fmt.Fprintln(out, fig2.Table())
+		if err := saveCSV("figure2.csv", fig2); err != nil {
+			return err
+		}
+	}
+	if which == "3" || which == "all" || which == "claims" {
+		fig3, err = exp.Figure3(scale, seed, twofish3, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig3.ASCII(64, 20))
+		fmt.Fprintln(out, fig3.Table())
+		if err := saveCSV("figure3.csv", fig3); err != nil {
+			return err
+		}
+	}
+
+	if which == "all" || which == "claims" {
+		rows, err := exp.SpeedupTable(scale, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "C5: acceleration over the unaccelerated builds")
+		for _, r := range rows {
+			fmt.Fprintf(out, "  %-8s hw=%-12d baseline=%-12d speedup=%.2fx\n",
+				r.App, r.HW, r.Baseline, r.Speedup)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "Claim checks against the paper (§5.1):")
+		fmt.Fprint(out, exp.FormatClaims(exp.CheckClaims(fig2, fig3, rows)))
+		fmt.Fprintln(out)
+	}
+
+	if which == "ablations" || which == "all" {
+		a1, err := exp.PolicyAblation(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, a1.Table())
+		if err := saveCSV("ablation_policies.csv", a1); err != nil {
+			return err
+		}
+
+		a2, err := exp.ConfigSplitAblation(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, a2.Table())
+		if err := saveCSV("ablation_split.csv", a2); err != nil {
+			return err
+		}
+
+		a3, err := exp.TLBAblation(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "A3: dispatch TLB pressure (4 alpha instances, 10ms)")
+		fmt.Fprintln(out, "  entries  mapping-faults  loads  completion")
+		for _, r := range a3 {
+			fmt.Fprintf(out, "  %7d  %14d  %5d  %d\n", r.Entries, r.MappingFaults, r.Loads, r.Completion)
+		}
+		fmt.Fprintln(out)
+
+		a4, err := exp.QuantumSweep(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, a4.Table())
+
+		a5, err := exp.SharingAblation(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, a5.Table())
+		if err := saveCSV("ablation_sharing.csv", a5); err != nil {
+			return err
+		}
+
+		a6, err := exp.PageInAblation(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "A6: bitstream page-in cost (alpha, 6 instances, 10ms; §5.1.3)")
+		fmt.Fprintln(out, "  page-in-cycles  circuit-switching  software-dispatch")
+		for _, r := range a6 {
+			fmt.Fprintf(out, "  %14d  %17d  %17d\n", r.PageInCycles, r.Switching, r.Soft)
+		}
+		fmt.Fprintln(out)
+
+		a7, err := exp.InterruptLatencyAblation(scale, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "A7: max timer-IRQ latency vs custom-instruction length (§4.4)")
+		fmt.Fprintln(out, "  instr-cycles  atomic-cdp  interruptible-cdp")
+		for _, r := range a7 {
+			fmt.Fprintf(out, "  %12d  %10d  %17d\n", r.InstrCycles, r.Atomic, r.Interrupt)
+		}
+		fmt.Fprintln(out)
+
+		a8, err := exp.MixedWorkload(scale, seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, a8.Table())
+		if err := saveCSV("ablation_mixed.csv", a8); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command fplstat compiles the stock circuit library onto the ProteanARM's
+// 500-CLB PFU fabric and reports synthesis statistics: LUT/FF counts
+// before and after optimisation, placement utilisation, wirelength and the
+// size of the two configuration sections (§4.1's full image vs state
+// frames).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protean/internal/fabric"
+)
+
+func main() {
+	w := flag.Int("w", fabric.DefaultPFUSpec.W, "array width in CLBs")
+	h := flag.Int("h", fabric.DefaultPFUSpec.H, "array height in CLBs")
+	flag.Parse()
+	spec := fabric.ArraySpec{W: *w, H: *h}
+
+	circuits := []struct {
+		name string
+		mk   func() *fabric.Netlist
+	}{
+		{"pass32", fabric.Passthrough32},
+		{"xor32", fabric.Xor32},
+		{"add32", fabric.Adder32},
+		{"popcount32", fabric.Popcount32},
+		{"crc32step", fabric.CRC32Step},
+		{"satadd16", fabric.SatAdd16},
+		{"seqmul16", fabric.SeqMul16},
+		{"alphablend", fabric.AlphaBlend},
+		{"barrel32", fabric.BarrelShift32},
+		{"lfsr32", fabric.LFSR32},
+	}
+
+	fmt.Printf("PFU fabric: %dx%d = %d CLBs; static image %d bytes, state frames %d bytes\n\n",
+		spec.W, spec.H, spec.CLBs(), fabric.StaticBytes(spec), fabric.StateBytes(spec))
+	fmt.Printf("%-12s %8s %8s %8s %6s %6s %7s %10s %6s\n",
+		"circuit", "luts", "luts-opt", "ffs", "depth", "cells", "util%", "wirelength", "maxw")
+	for _, c := range circuits {
+		n := c.mk()
+		before := n.Stats()
+		removed := fabric.Optimize(n)
+		after := n.Stats()
+		cfg, stats, err := fabric.Place(n, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fplstat: %s: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		bits, err := fabric.EncodeStatic(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fplstat: %s: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		if _, err := fabric.NewPFU(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fplstat: %s failed validation: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		_ = removed
+		_ = bits
+		fmt.Printf("%-12s %8d %8d %8d %6d %6d %6.1f%% %10d %6d\n",
+			c.name, before.LUTs, after.LUTs, after.FFs, after.Depth,
+			stats.Cells, stats.Utilization*100, stats.Wirelength, stats.MaxWire)
+	}
+}

@@ -1,0 +1,73 @@
+// Command pasm is the standalone assembler for the ProteanARM dialect:
+// it assembles a source file to a flat little-endian binary and prints the
+// symbol table. With -d it disassembles a binary instead.
+//
+// Usage:
+//
+//	pasm [-o out.bin] [-org 0x8000] [-symbols] [-list] file.s
+//	pasm -d [-org 0x8000] file.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"protean/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output binary (default: stdout summary only)")
+	org := flag.Uint("org", 0x8000, "load address")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	dis := flag.Bool("d", false, "disassemble a binary instead of assembling")
+	list := flag.Bool("list", false, "print a disassembly listing after assembling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pasm [-o out.bin] [-org addr] [-symbols] [-list] file.s | pasm -d file.bin")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasm:", err)
+		os.Exit(1)
+	}
+	if *dis {
+		printListing(src, uint32(*org))
+		return
+	}
+	prog, err := asm.Assemble(string(src), uint32(*org))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d bytes at %#08x..%#08x\n", flag.Arg(0), prog.Size(), prog.Origin, prog.End())
+	if *symbols {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Printf("  %#08x  %s\n", prog.Symbols[n], n)
+		}
+	}
+	if *list {
+		printListing(prog.Code, prog.Origin)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, prog.Code, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pasm:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printListing(code []byte, origin uint32) {
+	for i := 0; i+3 < len(code); i += 4 {
+		w := binary.LittleEndian.Uint32(code[i:])
+		fmt.Printf("%08x  %08x  %s\n", origin+uint32(i), w, asm.Disassemble(w, origin+uint32(i)))
+	}
+}

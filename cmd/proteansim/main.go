@@ -1,0 +1,188 @@
+// Command proteansim runs one scheduling scenario on the ProteanARM and
+// prints a detailed report: per-process completion, CIS activity, RFU
+// dispatch statistics and (optionally) the kernel event trace.
+//
+// Usage:
+//
+//	proteansim -app alpha|twofish|echo|mix -n 4 [-quantum cycles]
+//	           [-policy rr|random|lru|2chance] [-soft] [-sharing]
+//	           [-items N] [-scale N] [-trace]
+//
+// "mix" runs one instance of each application.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protean/internal/asm"
+	"protean/internal/bus"
+	"protean/internal/core"
+	"protean/internal/exp"
+	"protean/internal/kernel"
+	"protean/internal/machine"
+	"protean/internal/trace"
+	"protean/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "alpha", "application: alpha, twofish, echo, or mix")
+	n := flag.Int("n", 4, "concurrent instances")
+	quantum := flag.Uint("quantum", 0, "scheduling quantum in cycles (default: scaled 10ms)")
+	policy := flag.String("policy", "rr", "replacement policy: rr, random, lru, 2chance")
+	soft := flag.Bool("soft", false, "software-dispatch mode")
+	sharing := flag.Bool("sharing", false, "share circuit instances between identical registrations")
+	items := flag.Int("items", 0, "work units per instance (default: scaled)")
+	scaleF := flag.Int("scale", 100, "scale divisor")
+	seed := flag.Int64("seed", 1, "random policy seed")
+	showTrace := flag.Bool("trace", false, "print the kernel event trace tail")
+	gate := flag.Bool("gatelevel", false, "run the alpha circuit as its real placed bitstream on the fabric simulator (slow)")
+	disasmN := flag.Int("disasm", 0, "stream a disassembly of the first N executed instructions to stderr")
+	flag.Parse()
+
+	if err := run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *gate, *disasmN); err != nil {
+		fmt.Fprintln(os.Stderr, "proteansim:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(s string) (kernel.PolicyKind, error) {
+	switch s {
+	case "rr", "round-robin":
+		return kernel.PolicyRoundRobin, nil
+	case "random":
+		return kernel.PolicyRandom, nil
+	case "lru":
+		return kernel.PolicyLRU, nil
+	case "2chance", "second-chance":
+		return kernel.PolicySecondChance, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func parseApps(s string) ([]workload.Kind, error) {
+	switch s {
+	case "alpha":
+		return []workload.Kind{workload.Alpha}, nil
+	case "twofish":
+		return []workload.Kind{workload.Twofish}, nil
+	case "echo":
+		return []workload.Kind{workload.Echo}, nil
+	case "mix":
+		return []workload.Kind{workload.Alpha, workload.Twofish, workload.Echo}, nil
+	}
+	return nil, fmt.Errorf("unknown app %q", s)
+}
+
+func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, gate bool, disasmN int) error {
+	pol, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	kinds, err := parseApps(appName)
+	if err != nil {
+		return err
+	}
+	scale := exp.Scale{Factor: scaleF}
+	if quantum == 0 {
+		quantum = scale.Quantum(exp.Quantum10ms)
+	}
+	mode := workload.ModeHWOnly
+	if soft {
+		mode = workload.ModeHW
+	}
+
+	m := machine.New(machine.Config{ConfigBytesPerCycle: scale.ConfigBytesPerCycle()})
+	tl := trace.New(64)
+	cfg := kernel.Config{
+		Quantum:      quantum,
+		Policy:       pol,
+		SoftDispatch: soft,
+		Sharing:      sharing,
+		Costs:        scale.Costs(),
+		Seed:         seed,
+		Trace:        tl,
+	}
+	if disasmN > 0 {
+		left := disasmN
+		cfg.InstrHook = func(pc uint32) {
+			if left <= 0 {
+				return
+			}
+			left--
+			if w, fault := m.Bus.Read32(pc, bus.Fetch); fault == nil {
+				fmt.Fprintf(os.Stderr, "%08x  %08x  %s\n", pc, w, asm.Disassemble(w, pc))
+			}
+		}
+	}
+	k := kernel.New(m, cfg)
+
+	expected := map[string]uint32{}
+	for i := 0; i < n; i++ {
+		kind := kinds[i%len(kinds)]
+		cnt := items
+		if cnt <= 0 {
+			cnt = scale.Items(kind)
+		}
+		app, err := workload.Build(kind, cnt, mode)
+		if err != nil {
+			return err
+		}
+		if gate && kind == workload.Alpha {
+			img, err := workload.AlphaGateImage()
+			if err != nil {
+				return err
+			}
+			app.Images = []*core.Image{img}
+		}
+		prog, err := asm.Assemble(app.Source, k.NextBase())
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s#%d", app.Name, i+1)
+		if _, err := k.Spawn(name, prog, app.Images); err != nil {
+			return err
+		}
+		expected[name] = app.Expected
+	}
+	if err := k.Start(); err != nil {
+		return err
+	}
+	if err := k.Run(1 << 40); err != nil {
+		return err
+	}
+
+	fmt.Printf("machine: %d cycles total, quantum %d, policy %s, soft=%v sharing=%v\n\n",
+		m.Cycles(), quantum, pol, soft, sharing)
+	fmt.Println("processes:")
+	for _, p := range k.Processes() {
+		verdict := "OK"
+		if p.State != kernel.ProcExited {
+			verdict = "KILLED"
+		} else if p.ExitCode != expected[p.Name] {
+			verdict = "CHECKSUM MISMATCH"
+		}
+		fmt.Printf("  %-22s completion=%-12d switches=%-5d faults=%-5d instrs=%-10d %s\n",
+			p.Name, p.Stats.CompletionCycle, p.Stats.Switches, p.Stats.Faults,
+			p.Stats.UserInstrs, verdict)
+	}
+	cs := k.CIS.Stats
+	fmt.Printf("\nCIS: faults=%d mapping-faults=%d loads=%d restores=%d evictions=%d soft-maps=%d share-hits=%d\n",
+		cs.Faults, cs.MappingFaults, cs.Loads, cs.Restores, cs.Evictions, cs.SoftMaps, cs.ShareHits)
+	fmt.Printf("     config traffic: %d bytes, %d cycles on the configuration port\n",
+		cs.ConfigBytes, cs.ConfigCycles)
+	rs := m.RFU.Stats
+	fmt.Printf("RFU: hw-dispatches=%d sw-dispatches=%d faults=%d completions=%d aborts=%d exec-cycles=%d\n",
+		rs.HWDispatches, rs.SWDispatches, rs.Faults, rs.Completions, rs.Aborts, rs.ExecCycles)
+	fmt.Printf("     TLB1 %d/%d lookups/misses, TLB2 %d/%d\n",
+		m.RFU.TLB1.Lookups, m.RFU.TLB1.Misses, m.RFU.TLB2.Lookups, m.RFU.TLB2.Misses)
+	ks := k.Stats
+	fmt.Printf("kernel: switches=%d timer-irqs=%d syscalls=%d kernel-cycles=%d\n",
+		ks.ContextSwitches, ks.TimerIRQs, ks.Syscalls, ks.KernelCycles)
+	if showTrace {
+		fmt.Println("\nevent trace (most recent):")
+		fmt.Print(tl.String())
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Contention pits the four CIS replacement policies against each other on
+// an over-committed array: six alpha-blending processes, four PFUs, 1 ms
+// quanta. Round robin and random are the paper's policies (Figure 2);
+// LRU and second chance are the classic algorithms the §4.5 usage
+// counters enable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protean/internal/asm"
+	"protean/internal/exp"
+	"protean/internal/kernel"
+	"protean/internal/machine"
+	"protean/internal/workload"
+)
+
+func main() {
+	const instances = 5
+	const pixels = 30_000
+
+	app, err := workload.BuildAlpha(pixels, workload.ModeHWOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []kernel.PolicyKind{
+		kernel.PolicyRoundRobin,
+		kernel.PolicyRandom,
+		kernel.PolicyLRU,
+		kernel.PolicySecondChance,
+	}
+	fmt.Printf("%d alpha instances, 4 PFUs, 1ms quantum, %d pixels each\n\n", instances, pixels)
+	fmt.Printf("%-14s %14s %10s %10s %12s\n", "policy", "completion", "evictions", "reloads", "config-bytes")
+
+	best := kernel.PolicyRoundRobin
+	var bestTime uint64
+	for _, pol := range policies {
+		m := machine.New(machine.Config{})
+		k := kernel.New(m, kernel.Config{
+			Quantum: exp.Quantum1ms,
+			Policy:  pol,
+			Seed:    3,
+		})
+		for i := 0; i < instances; i++ {
+			prog, err := asm.Assemble(app.Source, k.NextBase())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := k.Spawn(fmt.Sprintf("p%d", i+1), prog, app.Images); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := k.Start(); err != nil {
+			log.Fatal(err)
+		}
+		if err := k.Run(1 << 36); err != nil {
+			log.Fatal(err)
+		}
+		var completion uint64
+		for _, p := range k.Processes() {
+			if p.ExitCode != app.Expected {
+				log.Fatalf("%s/%s: checksum mismatch", pol, p.Name)
+			}
+			if p.Stats.CompletionCycle > completion {
+				completion = p.Stats.CompletionCycle
+			}
+		}
+		fmt.Printf("%-14s %14d %10d %10d %12d\n",
+			pol, completion, k.CIS.Stats.Evictions, k.CIS.Stats.Loads, k.CIS.Stats.ConfigBytes)
+		if bestTime == 0 || completion < bestTime {
+			best, bestTime = pol, completion
+		}
+	}
+	fmt.Printf("\nbest policy here: %s\n", best)
+	fmt.Println("(the paper found round robin generally worst: its victim pointer stays")
+	fmt.Println(" correlated with the round-robin process scheduler, so it keeps evicting")
+	fmt.Println(" the circuit of whoever runs next — random breaks the correlation, §5.1.1.")
+	fmt.Println(" on a uniform workload like this, LRU and second chance see identical")
+	fmt.Println(" usage stamps everywhere and degenerate to the same rotation as RR.)")
+}

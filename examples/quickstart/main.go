@@ -1,0 +1,87 @@
+// Quickstart: the smallest complete Proteus program.
+//
+// It builds a ProteanARM machine, boots POrSCHE, and runs one process that
+// registers a custom instruction (a behavioural adder circuit), invokes it
+// through the coprocessor interface, and prints the result. The first CDP
+// faults, the Custom Instruction Scheduler loads the circuit into a PFU,
+// and the instruction is transparently reissued — the §4.2 dispatch flow
+// end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protean/internal/asm"
+	"protean/internal/core"
+	"protean/internal/fabric"
+	"protean/internal/kernel"
+	"protean/internal/machine"
+)
+
+const program = `
+	ldr r0, =desc
+	swi 3                      ; register custom instruction CID 7
+
+	mov r0, #30
+	mov r1, #12
+	mcr p1, 0, r0, c0, c0      ; RFU r0 = 30
+	mcr p1, 0, r1, c1, c0      ; RFU r1 = 12
+	cdp p1, 7, c2, c0, c1      ; c2 = myadd(c0, c1)  -- faults, loads, reissues
+	mrc p1, 0, r2, c2, c0      ; r2 = result
+
+	mov r4, r2                 ; print the result in decimal
+	mov r0, r4
+	swi 5
+	mov r0, #'\n'
+	swi 1
+
+	mov r0, r4                 ; exit code = result
+	swi 0
+desc:
+	.word 7, 0, 0              ; CID 7, image 0, no software alternative
+`
+
+func main() {
+	// A behavioural 4-cycle adder "circuit" occupying a full 500-CLB PFU.
+	adder := core.NewBehaviouralImage(core.BehaviouralSpec{
+		Name:       "myadd",
+		Spec:       fabric.DefaultPFUSpec,
+		StateWords: 1,
+		Step: func(st []uint32, a, b uint32, init bool) (uint32, bool) {
+			if init {
+				st[0] = 1
+			} else {
+				st[0]++
+			}
+			return a + b, st[0] >= 4
+		},
+	})
+
+	m := machine.New(machine.Config{})
+	k := kernel.New(m, kernel.Config{Quantum: 100_000})
+
+	prog, err := asm.Assemble(program, k.NextBase())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := k.Spawn("quickstart", prog, []*core.Image{adder})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if err := k.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("console output: %q\n", k.Console())
+	fmt.Printf("exit code:      %d (30 + 12)\n", p.ExitCode)
+	fmt.Printf("machine cycles: %d\n", m.Cycles())
+	fmt.Printf("CIS activity:   %d fault, %d configuration load (%d bytes over the config port)\n",
+		k.CIS.Stats.Faults, k.CIS.Stats.Loads, k.CIS.Stats.ConfigBytes)
+	if p.ExitCode != 42 {
+		log.Fatal("unexpected result")
+	}
+}

@@ -1,0 +1,654 @@
+package arm
+
+import (
+	"testing"
+
+	"protean/internal/bus"
+)
+
+// --- encoding helpers (test-local; the assembler package has its own
+// independent encoders, so bugs cannot cancel between them) ---
+
+const condAL = 0xE
+
+func dpImm(op, s, rn, rd, rot, imm8 uint32) uint32 {
+	return condAL<<28 | 1<<25 | op<<21 | s<<20 | rn<<16 | rd<<12 | rot<<8 | imm8
+}
+
+func dpReg(op, s, rn, rd, rm, stype, amt uint32) uint32 {
+	return condAL<<28 | op<<21 | s<<20 | rn<<16 | rd<<12 | amt<<7 | stype<<5 | rm
+}
+
+func dpRegShiftReg(op, s, rn, rd, rm, stype, rs uint32) uint32 {
+	return condAL<<28 | op<<21 | s<<20 | rn<<16 | rd<<12 | rs<<8 | stype<<5 | 1<<4 | rm
+}
+
+func ldrImm(load, byteOp, pre, up, wb, rn, rd, imm12 uint32) uint32 {
+	return condAL<<28 | 1<<26 | pre<<24 | up<<23 | byteOp<<22 | wb<<21 | load<<20 | rn<<16 | rd<<12 | imm12
+}
+
+func halfImm(load, pre, up, wb, rn, rd, sh, imm8 uint32) uint32 {
+	return condAL<<28 | pre<<24 | up<<23 | 1<<22 | wb<<21 | load<<20 | rn<<16 | rd<<12 |
+		(imm8>>4)<<8 | 1<<7 | sh<<5 | 1<<4 | imm8&0xF
+}
+
+func ldmStm(load, pre, up, s, wb, rn, list uint32) uint32 {
+	return condAL<<28 | 4<<25 | pre<<24 | up<<23 | s<<22 | wb<<21 | load<<20 | rn<<16 | list
+}
+
+func branch(link uint32, off int32) uint32 {
+	return condAL<<28 | 5<<25 | link<<24 | uint32(off)&0xFFFFFF
+}
+
+func mul(s, rd, rn, rs, rm uint32, acc uint32) uint32 {
+	return condAL<<28 | acc<<21 | s<<20 | rd<<16 | rn<<12 | rs<<8 | 9<<4 | rm
+}
+
+func mull(signed, acc, s, rdHi, rdLo, rs, rm uint32) uint32 {
+	return condAL<<28 | 1<<23 | signed<<22 | acc<<21 | s<<20 | rdHi<<16 | rdLo<<12 | rs<<8 | 9<<4 | rm
+}
+
+func swi(comment uint32) uint32 { return condAL<<28 | 0xF<<24 | comment&0xFFFFFF }
+
+const (
+	codeBase = 0x100
+	ramSize  = 0x10000
+)
+
+// newCPU builds a CPU over a small RAM with the program loaded at codeBase
+// and PC pointing at it, running in system mode with IRQs masked.
+func newCPU(t *testing.T, prog []uint32) *CPU {
+	t.Helper()
+	b := bus.New()
+	b.MustMap(0, bus.NewRAM(ramSize))
+	c := New(b)
+	for i, w := range prog {
+		if f := b.Write32(codeBase+uint32(i*4), w); f != nil {
+			t.Fatal(f)
+		}
+	}
+	c.SetCPSR(uint32(ModeSys) | FlagI | FlagF)
+	c.R[PC] = codeBase
+	return c
+}
+
+// stepN executes n instructions.
+func stepN(c *CPU, n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+}
+
+func TestMovImmediate(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 42),    // MOV r0, #42
+		dpImm(opMOV, 0, 0, 1, 12, 0xFF), // MOV r1, #0xFF ROR 24 = 0xFF00
+	})
+	stepN(c, 2)
+	if c.R[0] != 42 {
+		t.Errorf("r0 = %d, want 42", c.R[0])
+	}
+	if c.R[1] != 0xFF00 {
+		t.Errorf("r1 = %#x, want 0xFF00", c.R[1])
+	}
+}
+
+func TestAddSubFlags(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 0), // MOV r0, #0
+		dpImm(opSUB, 1, 0, 1, 0, 1), // SUBS r1, r0, #1 -> 0xFFFFFFFF, N set, C clear (borrow)
+		dpImm(opADD, 1, 1, 2, 0, 1), // ADDS r2, r1, #1 -> 0, Z and C set
+		dpImm(opCMP, 1, 2, 0, 0, 0), // CMP r2, #0 -> Z set, C set
+	})
+	stepN(c, 2)
+	if c.R[1] != 0xFFFFFFFF {
+		t.Errorf("r1 = %#x", c.R[1])
+	}
+	if !c.flag(FlagN) || c.flag(FlagC) || c.flag(FlagZ) {
+		t.Errorf("flags after SUBS: cpsr=%#x", c.CPSR)
+	}
+	c.Step()
+	if c.R[2] != 0 || !c.flag(FlagZ) || !c.flag(FlagC) {
+		t.Errorf("flags after ADDS: r2=%#x cpsr=%#x", c.R[2], c.CPSR)
+	}
+	c.Step()
+	if !c.flag(FlagZ) || !c.flag(FlagC) {
+		t.Errorf("flags after CMP: cpsr=%#x", c.CPSR)
+	}
+}
+
+func TestOverflowFlag(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 4, 0x80), // MOV r0, #0x80000000 (0x80 ROR 8)
+		dpImm(opSUB, 1, 0, 1, 0, 1),    // SUBS r1, r0, #1 -> 0x7FFFFFFF, V set
+	})
+	stepN(c, 2)
+	if c.R[1] != 0x7FFFFFFF {
+		t.Errorf("r1 = %#x", c.R[1])
+	}
+	if !c.flag(FlagV) || c.flag(FlagN) {
+		t.Errorf("V not set on signed overflow: cpsr=%#x", c.CPSR)
+	}
+}
+
+func TestAdcSbcChain(t *testing.T) {
+	// 64-bit add: (0xFFFFFFFF, 1) + (1, 0) = (0, 2) with carry chain.
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 0),    // r0 = 0
+		dpImm(opSUB, 0, 0, 0, 0, 1),    // r0 = 0xFFFFFFFF (lo a)
+		dpImm(opMOV, 0, 0, 1, 0, 1),    // r1 = 1          (hi a)
+		dpImm(opMOV, 0, 0, 2, 0, 1),    // r2 = 1          (lo b)
+		dpImm(opMOV, 0, 0, 3, 0, 0),    // r3 = 0          (hi b)
+		dpReg(opADD, 1, 0, 4, 2, 0, 0), // ADDS r4, r0, r2
+		dpReg(opADC, 1, 1, 5, 3, 0, 0), // ADCS r5, r1, r3
+	})
+	stepN(c, 7)
+	if c.R[4] != 0 || c.R[5] != 2 {
+		t.Errorf("64-bit sum = (%#x,%#x), want (0,2)", c.R[5], c.R[4])
+	}
+}
+
+func TestLogicalShifts(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 1),     // r0 = 1
+		dpReg(opMOV, 0, 0, 1, 0, 0, 31), // r1 = r0 LSL #31
+		dpReg(opMOV, 1, 0, 2, 1, 1, 31), // MOVS r2 = r1 LSR #31 = 1
+		dpReg(opMOV, 0, 0, 3, 1, 2, 0),  // r3 = r1 ASR #32 = 0xFFFFFFFF
+	})
+	stepN(c, 4)
+	if c.R[1] != 1<<31 {
+		t.Errorf("LSL: r1 = %#x", c.R[1])
+	}
+	if c.R[2] != 1 {
+		t.Errorf("LSR: r2 = %#x", c.R[2])
+	}
+	if c.R[3] != 0xFFFFFFFF {
+		t.Errorf("ASR #32: r3 = %#x", c.R[3])
+	}
+}
+
+func TestRRX(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 2),    // r0 = 2
+		dpImm(opCMP, 1, 0, 0, 0, 1),    // CMP r0, #1 -> C=1 (no borrow)
+		dpReg(opMOV, 1, 0, 1, 0, 3, 0), // MOVS r1, r0, RRX -> C<<31 | r0>>1 = 0x80000001
+	})
+	stepN(c, 3)
+	if c.R[1] != 0x80000001 {
+		t.Errorf("RRX: r1 = %#x", c.R[1])
+	}
+	if c.flag(FlagC) {
+		t.Error("RRX carry out must be old bit0 = 0")
+	}
+}
+
+func TestRegisterShiftByRegister(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 1),            // r0 = 1
+		dpImm(opMOV, 0, 0, 1, 0, 4),            // r1 = 4
+		dpRegShiftReg(opMOV, 0, 0, 2, 0, 0, 1), // r2 = r0 LSL r1 = 16
+		dpImm(opMOV, 0, 0, 3, 0, 33),           // r3 = 33
+		dpRegShiftReg(opMOV, 1, 0, 4, 0, 0, 3), // MOVS r4 = r0 LSL r3 = 0, C=0
+	})
+	stepN(c, 5)
+	if c.R[2] != 16 {
+		t.Errorf("LSL r1: r2 = %d", c.R[2])
+	}
+	if c.R[4] != 0 || c.flag(FlagC) {
+		t.Errorf("LSL #33: r4 = %d C=%v", c.R[4], c.flag(FlagC))
+	}
+}
+
+func TestConditionCodes(t *testing.T) {
+	// MOVNE skipped after Z set; MOVEQ executed.
+	movne := uint32(0x1)<<28 | 1<<25 | uint32(opMOV)<<21 | 5<<12 | 1 // MOVNE r5, #1
+	moveq := uint32(0x0)<<28 | 1<<25 | uint32(opMOV)<<21 | 6<<12 | 1 // MOVEQ r6, #1
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 1, 0, 0, 0, 0), // MOVS r0, #0 -> Z
+		movne,
+		moveq,
+	})
+	stepN(c, 3)
+	if c.R[5] != 0 {
+		t.Error("MOVNE executed despite Z set")
+	}
+	if c.R[6] != 1 {
+		t.Error("MOVEQ skipped despite Z set")
+	}
+}
+
+func TestLoadStoreWord(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 0x20),     // r0 = 0x20... wait needs address base
+		dpImm(opMOV, 0, 0, 1, 0, 0xAB),     // r1 = 0xAB
+		ldrImm(0, 0, 1, 1, 0, 0, 1, 0x200), // STR r1, [r0, #0x200]
+		ldrImm(1, 0, 1, 1, 0, 0, 2, 0x200), // LDR r2, [r0, #0x200]
+	})
+	stepN(c, 4)
+	if c.R[2] != 0xAB {
+		t.Errorf("r2 = %#x, want 0xAB", c.R[2])
+	}
+}
+
+func TestLoadRotatedUnaligned(t *testing.T) {
+	// ARM7 rotates unaligned word loads.
+	c := newCPU(t, []uint32{
+		ldrImm(1, 0, 1, 1, 0, 0, 2, 0x201), // LDR r2, [r0, #0x201]
+	})
+	c.Bus.Write32(0x200, 0x11223344)
+	c.R[0] = 0
+	c.Step()
+	if c.R[2] != 0x44112233 {
+		t.Errorf("rotated load: r2 = %#x, want 0x44112233", c.R[2])
+	}
+}
+
+func TestLoadStoreByteHalf(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 0),        // r0 = 0
+		dpImm(opMOV, 0, 0, 1, 12, 0xAB),    // r1 = 0xAB00
+		ldrImm(0, 1, 1, 1, 0, 0, 1, 0x300), // STRB r1, [r0, #0x300] (stores 0x00)
+		halfImm(0, 1, 1, 0, 0, 1, 1, 0x40), // STRH r1, [r0, #0x40]
+		halfImm(1, 1, 1, 0, 0, 3, 1, 0x40), // LDRH r3, [r0, #0x40]
+		ldrImm(1, 1, 1, 1, 0, 0, 4, 0x300), // LDRB r4, [r0, #0x300]
+	})
+	stepN(c, 6)
+	if c.R[3] != 0xAB00 {
+		t.Errorf("LDRH: r3 = %#x", c.R[3])
+	}
+	if c.R[4] != 0 {
+		t.Errorf("LDRB: r4 = %#x", c.R[4])
+	}
+}
+
+func TestSignedLoads(t *testing.T) {
+	c := newCPU(t, []uint32{
+		halfImm(1, 1, 1, 0, 0, 1, 2, 0x80), // LDRSB r1, [r0, #0x80]
+		halfImm(1, 1, 1, 0, 0, 2, 3, 0x90), // LDRSH r2, [r0, #0x90]
+	})
+	c.Bus.Write8(0x80, 0xFE)
+	c.Bus.Write16(0x90, 0x8001)
+	c.R[0] = 0
+	stepN(c, 2)
+	if c.R[1] != 0xFFFFFFFE {
+		t.Errorf("LDRSB: r1 = %#x", c.R[1])
+	}
+	if c.R[2] != 0xFFFF8001 {
+		t.Errorf("LDRSH: r2 = %#x", c.R[2])
+	}
+}
+
+func TestPrePostIndexWriteback(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 0x40), // r0 = 0x40... use as base 0x1000? keep small
+		ldrImm(0, 0, 1, 1, 1, 0, 1, 4), // STR r1, [r0, #4]!  -> r0 = 0x44
+		ldrImm(0, 0, 0, 1, 0, 0, 1, 4), // STR r1, [r0], #4   -> r0 = 0x48
+	})
+	c.R[1] = 7
+	stepN(c, 3)
+	if c.R[0] != 0x48 {
+		t.Errorf("writeback: r0 = %#x, want 0x48", c.R[0])
+	}
+	v, _ := c.Bus.Read32(0x44, bus.Load)
+	w, _ := c.Bus.Read32(0x44+4-4, bus.Load)
+	_ = w
+	if v != 7 {
+		t.Errorf("mem[0x44] = %d", v)
+	}
+}
+
+func TestLdmStm(t *testing.T) {
+	c := newCPU(t, []uint32{
+		ldmStm(0, 1, 0, 0, 1, SP, 1<<0|1<<1|1<<2), // STMDB sp!, {r0-r2} (push)
+		dpImm(opMOV, 0, 0, 0, 0, 0),               // r0 = 0
+		dpImm(opMOV, 0, 0, 1, 0, 0),               // r1 = 0
+		dpImm(opMOV, 0, 0, 2, 0, 0),               // r2 = 0
+		ldmStm(1, 0, 1, 0, 1, SP, 1<<0|1<<1|1<<2), // LDMIA sp!, {r0-r2} (pop)
+	})
+	c.R[SP] = 0x2000
+	c.R[0], c.R[1], c.R[2] = 11, 22, 33
+	c.Step()
+	if c.R[SP] != 0x2000-12 {
+		t.Fatalf("push writeback sp = %#x", c.R[SP])
+	}
+	stepN(c, 4)
+	if c.R[0] != 11 || c.R[1] != 22 || c.R[2] != 33 {
+		t.Errorf("pop: r0-r2 = %d,%d,%d", c.R[0], c.R[1], c.R[2])
+	}
+	if c.R[SP] != 0x2000 {
+		t.Errorf("pop writeback sp = %#x", c.R[SP])
+	}
+}
+
+func TestBranchAndLink(t *testing.T) {
+	// 0x100: BL +2 words (target 0x10C); 0x10C: MOV r0, #5
+	c := newCPU(t, []uint32{
+		branch(1, 1),                // BL 0x10C (offset in words from PC+8)
+		dpImm(opMOV, 0, 0, 1, 0, 9), // skipped
+		dpImm(opMOV, 0, 0, 1, 0, 9), // skipped
+		dpImm(opMOV, 0, 0, 0, 0, 5), // 0x10C
+	})
+	c.Step()
+	if c.R[PC] != 0x10C {
+		t.Fatalf("branch target = %#x", c.R[PC])
+	}
+	if c.R[LR] != codeBase+4 {
+		t.Fatalf("LR = %#x, want %#x", c.R[LR], codeBase+4)
+	}
+	c.Step()
+	if c.R[0] != 5 || c.R[1] != 0 {
+		t.Error("branch did not skip")
+	}
+}
+
+func TestBackwardBranchLoop(t *testing.T) {
+	// Count r0 down from 3: loop: SUBS r0, r0, #1; BNE loop.
+	bne := uint32(0x1)<<28 | 5<<25 | uint32(0xFFFFFD)&0xFFFFFF // B -3 words
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 3),
+		dpImm(opSUB, 1, 0, 0, 0, 1),
+		bne,
+	})
+	for i := 0; i < 20 && c.R[PC] != codeBase+12; i++ {
+		c.Step()
+	}
+	if c.R[0] != 0 {
+		t.Errorf("loop left r0 = %d", c.R[0])
+	}
+}
+
+func TestMultiply(t *testing.T) {
+	c := newCPU(t, []uint32{
+		mul(0, 3, 0, 1, 2, 0), // MUL r3, r2, r1
+		mul(0, 4, 3, 1, 2, 1), // MLA r4, r2, r1, r3
+	})
+	c.R[1], c.R[2] = 7, 6
+	stepN(c, 2)
+	if c.R[3] != 42 {
+		t.Errorf("MUL: r3 = %d", c.R[3])
+	}
+	if c.R[4] != 84 {
+		t.Errorf("MLA: r4 = %d", c.R[4])
+	}
+}
+
+func TestMultiplyLong(t *testing.T) {
+	c := newCPU(t, []uint32{
+		mull(0, 0, 0, 3, 2, 1, 0), // UMULL r2, r3, r0, r1
+		mull(1, 0, 0, 5, 4, 1, 0), // SMULL r4, r5, r0, r1
+	})
+	c.R[0] = 0xFFFFFFFF // -1 signed
+	c.R[1] = 2
+	stepN(c, 2)
+	if c.R[2] != 0xFFFFFFFE || c.R[3] != 1 {
+		t.Errorf("UMULL = %#x:%#x", c.R[3], c.R[2])
+	}
+	if c.R[4] != 0xFFFFFFFE || c.R[5] != 0xFFFFFFFF {
+		t.Errorf("SMULL = %#x:%#x", c.R[5], c.R[4])
+	}
+}
+
+func TestSWIException(t *testing.T) {
+	c := newCPU(t, []uint32{swi(0x42)})
+	oldCPSR := c.CPSR
+	c.Step()
+	exc, ok := c.TookException()
+	if !ok || exc != ExcSWI {
+		t.Fatalf("exception = %v,%v", exc, ok)
+	}
+	if c.Mode() != ModeSvc {
+		t.Errorf("mode = %v", c.Mode())
+	}
+	if c.R[PC] != 0x08 {
+		t.Errorf("PC = %#x", c.R[PC])
+	}
+	if c.R[LR] != codeBase+4 {
+		t.Errorf("LR_svc = %#x", c.R[LR])
+	}
+	if c.SPSR() != oldCPSR {
+		t.Errorf("SPSR = %#x, want %#x", c.SPSR(), oldCPSR)
+	}
+	// The SWI comment field is recoverable from the instruction.
+	instr, _ := c.Bus.Read32(c.R[LR]-4, bus.Load)
+	if instr&0xFFFFFF != 0x42 {
+		t.Errorf("SWI comment = %#x", instr&0xFFFFFF)
+	}
+}
+
+func TestUndefinedInstruction(t *testing.T) {
+	c := newCPU(t, []uint32{0xE6000010}) // media-space pattern: undefined in ARMv4
+	c.Step()
+	exc, ok := c.TookException()
+	if !ok || exc != ExcUndefined {
+		t.Fatalf("exception = %v,%v", exc, ok)
+	}
+	if c.Mode() != ModeUnd || c.R[PC] != 0x04 {
+		t.Errorf("mode=%v pc=%#x", c.Mode(), c.R[PC])
+	}
+	if c.R[LR] != codeBase+4 {
+		t.Errorf("LR_und = %#x (reissue needs LR-4)", c.R[LR])
+	}
+}
+
+func TestIRQEntryAndMasking(t *testing.T) {
+	irq := false
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 1),
+		dpImm(opMOV, 0, 0, 1, 0, 2),
+	})
+	c.IRQLine = func() bool { return irq }
+	// IRQs masked: nothing happens.
+	irq = true
+	c.Step()
+	if _, ok := c.TookException(); ok {
+		t.Fatal("IRQ taken while masked")
+	}
+	// Unmask and step: IRQ taken before the next instruction.
+	c.SetCPSR(uint32(ModeSys)) // I clear
+	c.R[PC] = codeBase + 4
+	c.Step()
+	exc, ok := c.TookException()
+	if !ok || exc != ExcIRQ {
+		t.Fatalf("exception = %v,%v", exc, ok)
+	}
+	if c.Mode() != ModeIrq || c.R[PC] != 0x18 {
+		t.Errorf("mode=%v pc=%#x", c.Mode(), c.R[PC])
+	}
+	// LR_irq = interrupted instruction + 4: returning with SUBS PC,LR,#4
+	// resumes exactly there.
+	if c.R[LR] != codeBase+8 {
+		t.Errorf("LR_irq = %#x, want %#x", c.R[LR], codeBase+8)
+	}
+	if !c.flag(FlagI) {
+		t.Error("I flag not set on IRQ entry")
+	}
+}
+
+func TestExceptionReturnSUBS(t *testing.T) {
+	// Enter an exception, then return with SUBS PC, LR, #4 and check mode
+	// and PC restore.
+	c := newCPU(t, []uint32{dpImm(opMOV, 0, 0, 0, 0, 1)})
+	c.SetCPSR(uint32(ModeUsr))
+	c.R[PC] = codeBase
+	c.Enter(ExcIRQ, codeBase+4)
+	if c.Mode() != ModeIrq {
+		t.Fatal("not in irq mode")
+	}
+	// Place SUBS PC, LR, #4 at the vector.
+	c.Bus.Write32(0x18, dpImm(opSUB, 1, LR, PC, 0, 4))
+	c.Step()
+	if c.Mode() != ModeUsr {
+		t.Errorf("mode after return = %v", c.Mode())
+	}
+	if c.R[PC] != codeBase {
+		t.Errorf("PC after return = %#x", c.R[PC])
+	}
+}
+
+func TestBankedRegisters(t *testing.T) {
+	c := newCPU(t, nil)
+	c.SetCPSR(uint32(ModeSys))
+	c.R[SP] = 0x1000
+	c.R[LR] = 0x2000
+	c.SetCPSR(uint32(ModeIrq) | FlagI)
+	c.R[SP] = 0x3000
+	if c.UserReg(SP) != 0x1000 {
+		t.Errorf("user sp via UserReg = %#x", c.UserReg(SP))
+	}
+	c.SetCPSR(uint32(ModeSys))
+	if c.R[SP] != 0x1000 || c.R[LR] != 0x2000 {
+		t.Errorf("user bank corrupted: sp=%#x lr=%#x", c.R[SP], c.R[LR])
+	}
+	c.SetCPSR(uint32(ModeIrq) | FlagI)
+	if c.R[SP] != 0x3000 {
+		t.Errorf("irq bank lost: sp=%#x", c.R[SP])
+	}
+}
+
+func TestMrsMsr(t *testing.T) {
+	mrs := uint32(condAL<<28 | 0x010F0000 | 2<<12) // MRS r2, CPSR
+	msr := uint32(condAL<<28 | 0x0129F000 | 3)     // MSR CPSR_fc, r3... bits: 0x0129F000|Rm
+	c := newCPU(t, []uint32{mrs, msr})
+	c.Step()
+	if c.R[2] != c.CPSR {
+		t.Errorf("MRS: r2=%#x cpsr=%#x", c.R[2], c.CPSR)
+	}
+	c.R[3] = uint32(ModeSys) | FlagN | FlagI | FlagF
+	c.Step()
+	if !c.flag(FlagN) {
+		t.Error("MSR did not set N")
+	}
+}
+
+func TestUserModeMSRRestricted(t *testing.T) {
+	msr := uint32(condAL<<28 | 0x0129F000 | 3)
+	c := newCPU(t, []uint32{msr})
+	c.SetCPSR(uint32(ModeUsr))
+	c.R[PC] = codeBase
+	c.R[3] = uint32(ModeSvc) | FlagN // try to escalate
+	c.Step()
+	if c.Mode() != ModeUsr {
+		t.Fatal("user mode escalated via MSR")
+	}
+	if !c.flag(FlagN) {
+		t.Error("flag write should be allowed from user mode")
+	}
+}
+
+func TestSwap(t *testing.T) {
+	swp := uint32(condAL<<28 | 0x01000090 | 1<<16 | 2<<12 | 3) // SWP r2, r3, [r1]
+	c := newCPU(t, []uint32{swp})
+	c.R[1] = 0x500
+	c.R[3] = 77
+	c.Bus.Write32(0x500, 55)
+	c.Step()
+	if c.R[2] != 55 {
+		t.Errorf("SWP loaded %d", c.R[2])
+	}
+	v, _ := c.Bus.Read32(0x500, bus.Load)
+	if v != 77 {
+		t.Errorf("SWP stored %d", v)
+	}
+}
+
+func TestBX(t *testing.T) {
+	bx := uint32(condAL<<28 | 0x012FFF10 | 2) // BX r2
+	c := newCPU(t, []uint32{bx})
+	c.R[2] = 0x400
+	c.Step()
+	if c.R[PC] != 0x400 {
+		t.Errorf("BX: pc=%#x", c.R[PC])
+	}
+}
+
+func TestDataAbortOnUnmapped(t *testing.T) {
+	c := newCPU(t, []uint32{
+		ldrImm(1, 0, 1, 1, 0, 0, 2, 0), // LDR r2, [r0]
+	})
+	c.R[0] = 0xF0000000 // unmapped
+	c.Step()
+	exc, ok := c.TookException()
+	if !ok || exc != ExcDataAbort {
+		t.Fatalf("exception = %v,%v", exc, ok)
+	}
+	if c.Mode() != ModeAbt || c.R[PC] != 0x10 {
+		t.Errorf("mode=%v pc=%#x", c.Mode(), c.R[PC])
+	}
+}
+
+func TestCycleCounts(t *testing.T) {
+	cases := []struct {
+		name  string
+		prog  []uint32
+		setup func(c *CPU)
+		want  uint32
+	}{
+		{"dp", []uint32{dpImm(opADD, 0, 0, 0, 0, 1)}, nil, 1},
+		{"dp-regshift", []uint32{dpRegShiftReg(opMOV, 0, 0, 2, 0, 0, 1)}, nil, 2},
+		{"ldr", []uint32{ldrImm(1, 0, 1, 1, 0, 0, 2, 0x200)}, nil, 3},
+		{"str", []uint32{ldrImm(0, 0, 1, 1, 0, 0, 2, 0x200)}, nil, 2},
+		{"branch", []uint32{branch(0, 1)}, nil, 3},
+		{"swi", []uint32{swi(0)}, nil, 3},
+		{"mul-small", []uint32{mul(0, 3, 0, 1, 2, 0)}, func(c *CPU) { c.R[1] = 3 }, 2},
+		{"mul-large", []uint32{mul(0, 3, 0, 1, 2, 0)}, func(c *CPU) { c.R[1] = 0x01000000 }, 5},
+		{"ldm3", []uint32{ldmStm(1, 0, 1, 0, 0, 0, 7)}, func(c *CPU) { c.R[0] = 0x200 }, 5},
+		{"stm3", []uint32{ldmStm(0, 0, 1, 0, 0, 0, 7)}, func(c *CPU) { c.R[0] = 0x200 }, 4},
+		{"cond-fail", []uint32{0x1<<28 | dpImm(opMOV, 0, 0, 0, 0, 1)&0x0FFFFFFF}, nil, 1},
+	}
+	for _, tc := range cases {
+		c := newCPU(t, tc.prog)
+		if tc.setup != nil {
+			tc.setup(c)
+		}
+		got := c.Step()
+		if got != tc.want {
+			t.Errorf("%s: %d cycles, want %d", tc.name, got, tc.want)
+		}
+		if c.Cycles != uint64(tc.want) {
+			t.Errorf("%s: Cycles=%d, want %d", tc.name, c.Cycles, tc.want)
+		}
+	}
+}
+
+func TestPCRelativeReads(t *testing.T) {
+	// r15 reads as fetch+8 for a data-processing operand.
+	c := newCPU(t, []uint32{
+		dpReg(opMOV, 0, 0, 0, PC, 0, 0), // MOV r0, pc
+	})
+	c.Step()
+	if c.R[0] != codeBase+8 {
+		t.Errorf("MOV r0,pc = %#x, want %#x", c.R[0], codeBase+8)
+	}
+}
+
+func TestStorePCPlus12(t *testing.T) {
+	c := newCPU(t, []uint32{
+		ldrImm(0, 0, 1, 1, 0, 0, PC, 0x600), // STR pc, [r0, #0x600]
+	})
+	c.R[0] = 0
+	c.Step()
+	v, _ := c.Bus.Read32(0x600, bus.Load)
+	if v != codeBase+12 {
+		t.Errorf("stored pc = %#x, want %#x", v, codeBase+12)
+	}
+}
+
+func TestRunStopsAtPC(t *testing.T) {
+	c := newCPU(t, []uint32{
+		dpImm(opMOV, 0, 0, 0, 0, 1),
+		dpImm(opMOV, 0, 0, 1, 0, 2),
+		branch(0, -2-2), // B . (infinite loop at 0x108)... offset -4: target = PC+8-16 = 0x100? keep simple below
+	})
+	reason := c.Run(codeBase+8, 100)
+	if reason != StopPC {
+		t.Fatalf("reason = %v", reason)
+	}
+	if c.R[0] != 1 || c.R[1] != 2 {
+		t.Error("instructions before stop not executed")
+	}
+	// Budget stop.
+	c2 := newCPU(t, []uint32{branch(0, -2)}) // B . (loop to self)
+	if r := c2.Run(0xFFFF, 50); r != StopBudget {
+		t.Fatalf("reason = %v", r)
+	}
+}

@@ -1,0 +1,381 @@
+package arm
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"protean/internal/bus"
+)
+
+// flagRef is the reference NZCV model for arithmetic, computed with 64-bit
+// arithmetic.
+type flagRef struct {
+	n, z, c, v bool
+}
+
+func refAdd(a, b uint32, carry uint32) (uint32, flagRef) {
+	r64 := uint64(a) + uint64(b) + uint64(carry)
+	r := uint32(r64)
+	return r, flagRef{
+		n: r>>31 != 0,
+		z: r == 0,
+		c: r64 > 0xFFFFFFFF,
+		v: ^(a^b)&(a^r)>>31 != 0,
+	}
+}
+
+func refSub(a, b uint32, carry uint32) (uint32, flagRef) {
+	r64 := uint64(a) - uint64(b) - uint64(1-carry)
+	r := uint32(r64)
+	return r, flagRef{
+		n: r>>31 != 0,
+		z: r == 0,
+		c: uint64(a) >= uint64(b)+uint64(1-carry),
+		v: (a^b)&(a^r)>>31 != 0,
+	}
+}
+
+// runOne executes a single pre-encoded instruction with the given initial
+// register/flag state and returns the CPU.
+func runOne(t *testing.T, instr uint32, setup func(c *CPU)) *CPU {
+	t.Helper()
+	b := bus.New()
+	b.MustMap(0, bus.NewRAM(0x10000))
+	c := New(b)
+	c.SetCPSR(uint32(ModeSys) | FlagI | FlagF)
+	b.Write32(0x100, instr)
+	c.R[PC] = 0x100
+	if setup != nil {
+		setup(c)
+	}
+	c.Step()
+	return c
+}
+
+func checkFlags(t *testing.T, c *CPU, want flagRef, what string) bool {
+	t.Helper()
+	got := flagRef{c.flag(FlagN), c.flag(FlagZ), c.flag(FlagC), c.flag(FlagV)}
+	if got != want {
+		t.Errorf("%s: flags %+v, want %+v", what, got, want)
+		return false
+	}
+	return true
+}
+
+// TestAddsFlagsProperty: ADDS against the 64-bit reference.
+func TestAddsFlagsProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := runOne(t, dpReg(opADD, 1, 1, 0, 2, 0, 0), func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+		})
+		want, fl := refAdd(a, b, 0)
+		return c.R[0] == want &&
+			c.flag(FlagN) == fl.n && c.flag(FlagZ) == fl.z &&
+			c.flag(FlagC) == fl.c && c.flag(FlagV) == fl.v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubsFlagsProperty: SUBS and CMP against the reference.
+func TestSubsFlagsProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := runOne(t, dpReg(opSUB, 1, 1, 0, 2, 0, 0), func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+		})
+		want, fl := refSub(a, b, 1)
+		if c.R[0] != want {
+			return false
+		}
+		cmp := runOne(t, dpReg(opCMP, 1, 1, 0, 2, 0, 0), func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+		})
+		return c.flag(FlagN) == fl.n && c.flag(FlagZ) == fl.z &&
+			c.flag(FlagC) == fl.c && c.flag(FlagV) == fl.v &&
+			cmp.flag(FlagC) == fl.c && cmp.flag(FlagV) == fl.v &&
+			cmp.R[0] == 0 // CMP must not write rd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdcSbcCarryProperty: carry-in variants against the reference.
+func TestAdcSbcCarryProperty(t *testing.T) {
+	f := func(a, b uint32, carry bool) bool {
+		cin := uint32(0)
+		if carry {
+			cin = 1
+		}
+		setup := func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+			c.setFlag(FlagC, carry)
+		}
+		adc := runOne(t, dpReg(opADC, 1, 1, 0, 2, 0, 0), setup)
+		wantA, flA := refAdd(a, b, cin)
+		if adc.R[0] != wantA || adc.flag(FlagC) != flA.c || adc.flag(FlagV) != flA.v {
+			return false
+		}
+		sbc := runOne(t, dpReg(opSBC, 1, 1, 0, 2, 0, 0), setup)
+		wantS, flS := refSub(a, b, cin)
+		return sbc.R[0] == wantS && sbc.flag(FlagC) == flS.c && sbc.flag(FlagV) == flS.v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// refShift is the reference barrel shifter for register-specified amounts.
+func refShift(v uint32, stype, amt uint32, carryIn bool) (uint32, bool) {
+	if amt == 0 {
+		return v, carryIn
+	}
+	switch stype {
+	case 0: // LSL
+		switch {
+		case amt < 32:
+			return v << amt, v>>(32-amt)&1 != 0
+		case amt == 32:
+			return 0, v&1 != 0
+		default:
+			return 0, false
+		}
+	case 1: // LSR
+		switch {
+		case amt < 32:
+			return v >> amt, v>>(amt-1)&1 != 0
+		case amt == 32:
+			return 0, v>>31 != 0
+		default:
+			return 0, false
+		}
+	case 2: // ASR
+		if amt >= 32 {
+			if v>>31 != 0 {
+				return 0xFFFFFFFF, true
+			}
+			return 0, false
+		}
+		return uint32(int32(v) >> amt), v>>(amt-1)&1 != 0
+	default: // ROR
+		amt &= 31
+		if amt == 0 {
+			return v, v>>31 != 0
+		}
+		return bits.RotateLeft32(v, -int(amt)), v>>(amt-1)&1 != 0
+	}
+}
+
+// TestShifterProperty: MOVS rd, rm, <type> rs across all four shift types
+// and the full amount range (0..255 via the register path).
+func TestShifterProperty(t *testing.T) {
+	f := func(v uint32, amtRaw uint8, stypeRaw uint8, carryIn bool) bool {
+		stype := uint32(stypeRaw % 4)
+		amt := uint32(amtRaw)
+		c := runOne(t, dpRegShiftReg(opMOV, 1, 0, 0, 2, stype, 3), func(c *CPU) {
+			c.R[2] = v
+			c.R[3] = amt
+			c.setFlag(FlagC, carryIn)
+		})
+		want, wantC := refShift(v, stype, amt, carryIn)
+		return c.R[0] == want && c.flag(FlagC) == wantC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLogicalFlagsProperty: AND/ORR/EOR/BIC set N/Z from the result and C
+// from the shifter.
+func TestLogicalFlagsProperty(t *testing.T) {
+	ops := []struct {
+		op  uint32
+		ref func(a, b uint32) uint32
+	}{
+		{opAND, func(a, b uint32) uint32 { return a & b }},
+		{opORR, func(a, b uint32) uint32 { return a | b }},
+		{opEOR, func(a, b uint32) uint32 { return a ^ b }},
+		{opBIC, func(a, b uint32) uint32 { return a &^ b }},
+	}
+	f := func(a, b uint32, sel uint8) bool {
+		o := ops[sel%4]
+		c := runOne(t, dpReg(o.op, 1, 1, 0, 2, 0, 0), func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+		})
+		want := o.ref(a, b)
+		return c.R[0] == want &&
+			c.flag(FlagN) == (want>>31 != 0) &&
+			c.flag(FlagZ) == (want == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiplyProperty: MUL/UMULL/SMULL against 64-bit references.
+func TestMultiplyProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := runOne(t, mul(0, 0, 0, 2, 1, 0), func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+		})
+		if c.R[0] != a*b {
+			return false
+		}
+		cu := runOne(t, mull(0, 0, 0, 5, 4, 2, 1), func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+		})
+		wantU := uint64(a) * uint64(b)
+		if cu.R[4] != uint32(wantU) || cu.R[5] != uint32(wantU>>32) {
+			return false
+		}
+		cs := runOne(t, mull(1, 0, 0, 5, 4, 2, 1), func(c *CPU) {
+			c.R[1], c.R[2] = a, b
+		})
+		wantS := uint64(int64(int32(a)) * int64(int32(b)))
+		return cs.R[4] == uint32(wantS) && cs.R[5] == uint32(wantS>>32)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLdmStmRoundTripProperty: STM then LDM restores any register set.
+func TestLdmStmRoundTripProperty(t *testing.T) {
+	f := func(vals [8]uint32, maskRaw uint8) bool {
+		mask := uint32(maskRaw)
+		if mask == 0 {
+			mask = 1
+		}
+		b := bus.New()
+		b.MustMap(0, bus.NewRAM(0x10000))
+		c := New(b)
+		c.SetCPSR(uint32(ModeSys) | FlagI | FlagF)
+		// STMIA r9!, {mask}; LDMDB r9!, {mask} — r9 returns to start.
+		b.Write32(0x100, ldmStm(0, 0, 1, 0, 1, 9, mask))
+		b.Write32(0x104, ldmStm(1, 1, 0, 0, 1, 9, mask))
+		for i := 0; i < 8; i++ {
+			c.R[i] = vals[i]
+		}
+		c.R[9] = 0x2000
+		c.R[PC] = 0x100
+		c.Step()
+		// Clobber the stored registers.
+		saved := [8]uint32{}
+		for i := 0; i < 8; i++ {
+			saved[i] = c.R[i]
+			c.R[i] = ^vals[i]
+		}
+		c.Step()
+		if c.R[9] != 0x2000 {
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			if mask>>i&1 != 0 && c.R[i] != saved[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConditionProperty: every condition code agrees with its definition
+// for random flag states.
+func TestConditionProperty(t *testing.T) {
+	f := func(flags uint8, condRaw uint8) bool {
+		cond := uint32(condRaw % 15) // skip 0xF
+		b := bus.New()
+		b.MustMap(0, bus.NewRAM(0x1000))
+		c := New(b)
+		cpsr := uint32(ModeSys) | FlagI | FlagF
+		if flags&1 != 0 {
+			cpsr |= FlagN
+		}
+		if flags&2 != 0 {
+			cpsr |= FlagZ
+		}
+		if flags&4 != 0 {
+			cpsr |= FlagC
+		}
+		if flags&8 != 0 {
+			cpsr |= FlagV
+		}
+		c.SetCPSR(cpsr)
+		// cond MOV r0, #1
+		instr := cond<<28 | 1<<25 | uint32(opMOV)<<21 | 1
+		b.Write32(0x100, instr)
+		c.R[PC] = 0x100
+		c.Step()
+		n, z := flags&1 != 0, flags&2 != 0
+		cf, v := flags&4 != 0, flags&8 != 0
+		var want bool
+		switch cond {
+		case 0:
+			want = z
+		case 1:
+			want = !z
+		case 2:
+			want = cf
+		case 3:
+			want = !cf
+		case 4:
+			want = n
+		case 5:
+			want = !n
+		case 6:
+			want = v
+		case 7:
+			want = !v
+		case 8:
+			want = cf && !z
+		case 9:
+			want = !cf || z
+		case 10:
+			want = n == v
+		case 11:
+			want = n != v
+		case 12:
+			want = !z && n == v
+		case 13:
+			want = z || n != v
+		case 14:
+			want = true
+		}
+		return (c.R[0] == 1) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryRoundTripProperty: STR/LDR with random offsets round trip.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	f := func(v uint32, offRaw uint16) bool {
+		off := uint32(offRaw) & 0xFFC
+		b := bus.New()
+		b.MustMap(0, bus.NewRAM(0x10000))
+		c := New(b)
+		c.SetCPSR(uint32(ModeSys) | FlagI | FlagF)
+		b.Write32(0x100, ldrImm(0, 0, 1, 1, 0, 0, 1, off)) // STR r1, [r0, #off]
+		b.Write32(0x104, ldrImm(1, 0, 1, 1, 0, 0, 2, off)) // LDR r2, [r0, #off]
+		c.R[0] = 0x4000
+		c.R[1] = v
+		c.R[PC] = 0x100
+		c.Step()
+		c.Step()
+		return c.R[2] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckFlagsHelperUsed keeps the helper exercised.
+func TestCheckFlagsHelperUsed(t *testing.T) {
+	c := runOne(t, dpImm(opMOV, 1, 0, 0, 0, 0), nil)
+	checkFlags(t, c, flagRef{z: true}, "movs #0")
+}

@@ -1,0 +1,376 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one instruction word at the given address back into
+// assembler syntax. Every mnemonic it produces re-assembles to the same
+// word (checked exhaustively by the round-trip tests), which makes it both
+// a debugging aid and an independent check on the encoder tables.
+// Unrecognised words render as ".word 0x........".
+func Disassemble(instr, addr uint32) string {
+	cond := instr >> 28
+	if cond == 0xF {
+		return fmt.Sprintf(".word %#08x", instr)
+	}
+	cc := condNames[cond]
+	switch instr >> 25 & 7 {
+	case 0:
+		if instr&0x0F0 == 0x090 && instr>>23&3 == 0 && instr&(1<<22) == 0 {
+			return disMul(instr, cc)
+		}
+		if instr&0x0F0 == 0x090 && instr>>23&3 == 1 {
+			return disMull(instr, cc)
+		}
+		if instr&0x0FB00FF0 == 0x01000090 {
+			return disSwap(instr, cc)
+		}
+		if instr&0x0FFFFFF0 == 0x012FFF10 {
+			return fmt.Sprintf("bx%s %s", cc, regName(instr&0xF))
+		}
+		if instr&0x90 == 0x90 && instr&0x60 != 0 {
+			return disHalfword(instr, cc)
+		}
+		if instr>>23&3 == 2 && instr&(1<<20) == 0 {
+			return disPSR(instr, cc)
+		}
+		return disDP(instr, cc)
+	case 1:
+		if instr>>23&3 == 2 && instr&(1<<20) == 0 {
+			return disPSR(instr, cc)
+		}
+		return disDP(instr, cc)
+	case 2, 3:
+		if instr>>25&7 == 3 && instr&0x10 != 0 {
+			return fmt.Sprintf(".word %#08x", instr)
+		}
+		return disSingle(instr, cc)
+	case 4:
+		return disBlock(instr, cc)
+	case 5:
+		off := instr & 0xFFFFFF
+		if off&0x800000 != 0 {
+			off |= 0xFF000000
+		}
+		target := addr + 8 + off<<2
+		mn := "b"
+		if instr&(1<<24) != 0 {
+			mn = "bl"
+		}
+		return fmt.Sprintf("%s%s %#x", mn, cc, target)
+	case 6:
+		return fmt.Sprintf(".word %#08x", instr)
+	default:
+		if instr&(1<<24) != 0 {
+			return fmt.Sprintf("swi%s %#x", cc, instr&0xFFFFFF)
+		}
+		return disCoprocessor(instr, cc)
+	}
+}
+
+var condNames = [16]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "", "nv",
+}
+
+var dpNames = [16]string{
+	"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+	"tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+}
+
+var shiftNames = [4]string{"lsl", "lsr", "asr", "ror"}
+
+func regName(r uint32) string {
+	switch r {
+	case 13:
+		return "sp"
+	case 14:
+		return "lr"
+	case 15:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// disOp2 renders a data-processing operand 2.
+func disOp2(instr uint32) string {
+	if instr&(1<<25) != 0 {
+		imm := instr & 0xFF
+		rot := instr >> 8 & 0xF * 2
+		v := imm>>rot | imm<<(32-rot)
+		return fmt.Sprintf("#%d", v)
+	}
+	rm := regName(instr & 0xF)
+	if instr&0x10 != 0 {
+		st := shiftNames[instr>>5&3]
+		rs := regName(instr >> 8 & 0xF)
+		return fmt.Sprintf("%s, %s %s", rm, st, rs)
+	}
+	amt := instr >> 7 & 0x1F
+	stype := instr >> 5 & 3
+	if amt == 0 {
+		switch stype {
+		case 0:
+			return rm
+		case 3:
+			return rm + ", rrx"
+		default: // lsr/asr #0 encode #32
+			return fmt.Sprintf("%s, %s #32", rm, shiftNames[stype])
+		}
+	}
+	return fmt.Sprintf("%s, %s #%d", rm, shiftNames[stype], amt)
+}
+
+func disDP(instr uint32, cc string) string {
+	op := instr >> 21 & 0xF
+	s := ""
+	if instr&(1<<20) != 0 {
+		s = "s"
+	}
+	rn := regName(instr >> 16 & 0xF)
+	rd := regName(instr >> 12 & 0xF)
+	op2 := disOp2(instr)
+	name := dpNames[op]
+	switch {
+	case op == 13 || op == 15: // mov, mvn
+		return fmt.Sprintf("%s%s%s %s, %s", name, cc, s, rd, op2)
+	case op >= 8 && op <= 11: // tst..cmn: S implied
+		return fmt.Sprintf("%s%s %s, %s", name, cc, rn, op2)
+	default:
+		return fmt.Sprintf("%s%s%s %s, %s, %s", name, cc, s, rd, rn, op2)
+	}
+}
+
+func disMul(instr uint32, cc string) string {
+	s := ""
+	if instr&(1<<20) != 0 {
+		s = "s"
+	}
+	rd := regName(instr >> 16 & 0xF)
+	rn := regName(instr >> 12 & 0xF)
+	rs := regName(instr >> 8 & 0xF)
+	rm := regName(instr & 0xF)
+	if instr&(1<<21) != 0 {
+		return fmt.Sprintf("mla%s%s %s, %s, %s, %s", cc, s, rd, rm, rs, rn)
+	}
+	return fmt.Sprintf("mul%s%s %s, %s, %s", cc, s, rd, rm, rs)
+}
+
+func disMull(instr uint32, cc string) string {
+	s := ""
+	if instr&(1<<20) != 0 {
+		s = "s"
+	}
+	name := "umull"
+	if instr&(1<<22) != 0 {
+		name = "smull"
+	}
+	if instr&(1<<21) != 0 {
+		name = strings.Replace(name, "ull", "lal", 1)
+	}
+	rdHi := regName(instr >> 16 & 0xF)
+	rdLo := regName(instr >> 12 & 0xF)
+	rs := regName(instr >> 8 & 0xF)
+	rm := regName(instr & 0xF)
+	return fmt.Sprintf("%s%s%s %s, %s, %s, %s", name, cc, s, rdLo, rdHi, rm, rs)
+}
+
+func disSwap(instr uint32, cc string) string {
+	b := ""
+	if instr&(1<<22) != 0 {
+		b = "b"
+	}
+	return fmt.Sprintf("swp%s%s %s, %s, [%s]", cc, b,
+		regName(instr>>12&0xF), regName(instr&0xF), regName(instr>>16&0xF))
+}
+
+func disPSR(instr uint32, cc string) string {
+	psr := "cpsr"
+	if instr&(1<<22) != 0 {
+		psr = "spsr"
+	}
+	if instr&(1<<21) == 0 {
+		return fmt.Sprintf("mrs%s %s, %s", cc, regName(instr>>12&0xF), psr)
+	}
+	var fields string
+	for i, ch := range "cxsf" {
+		if instr>>(16+i)&1 != 0 {
+			fields += string(ch)
+		}
+	}
+	var src string
+	if instr&(1<<25) != 0 {
+		imm := instr & 0xFF
+		rot := instr >> 8 & 0xF * 2
+		src = fmt.Sprintf("#%d", imm>>rot|imm<<(32-rot))
+	} else {
+		src = regName(instr & 0xF)
+	}
+	return fmt.Sprintf("msr%s %s_%s, %s", cc, psr, fields, src)
+}
+
+func disSingle(instr uint32, cc string) string {
+	name := "str"
+	if instr&(1<<20) != 0 {
+		name = "ldr"
+	}
+	b := ""
+	if instr&(1<<22) != 0 {
+		b = "b"
+	}
+	rd := regName(instr >> 12 & 0xF)
+	rn := regName(instr >> 16 & 0xF)
+	sign := ""
+	if instr&(1<<23) == 0 {
+		sign = "-"
+	}
+	var off string
+	if instr&(1<<25) == 0 {
+		imm := instr & 0xFFF
+		off = fmt.Sprintf("#%s%d", sign, imm)
+	} else {
+		rm := regName(instr & 0xF)
+		amt := instr >> 7 & 0x1F
+		stype := instr >> 5 & 3
+		switch {
+		case amt == 0 && stype == 0:
+			off = sign + rm
+		case amt == 0 && stype == 3:
+			off = fmt.Sprintf("%s%s, rrx", sign, rm)
+		case amt == 0:
+			off = fmt.Sprintf("%s%s, %s #32", sign, rm, shiftNames[stype])
+		default:
+			off = fmt.Sprintf("%s%s, %s #%d", sign, rm, shiftNames[stype], amt)
+		}
+	}
+	pre := instr&(1<<24) != 0
+	wb := instr&(1<<21) != 0
+	switch {
+	case pre && !wb:
+		if instr&(1<<25) == 0 && instr&0xFFF == 0 {
+			return fmt.Sprintf("%s%s%s %s, [%s]", name, cc, b, rd, rn)
+		}
+		return fmt.Sprintf("%s%s%s %s, [%s, %s]", name, cc, b, rd, rn, off)
+	case pre && wb:
+		return fmt.Sprintf("%s%s%s %s, [%s, %s]!", name, cc, b, rd, rn, off)
+	default:
+		return fmt.Sprintf("%s%s%s %s, [%s], %s", name, cc, b, rd, rn, off)
+	}
+}
+
+func disHalfword(instr uint32, cc string) string {
+	load := instr&(1<<20) != 0
+	var suffix string
+	switch instr >> 5 & 3 {
+	case 1:
+		suffix = "h"
+	case 2:
+		suffix = "sb"
+	case 3:
+		suffix = "sh"
+	}
+	if !load && suffix != "h" {
+		// Signed stores do not exist on ARMv4; the core traps them.
+		return fmt.Sprintf(".word %#08x", instr)
+	}
+	name := "str"
+	if load {
+		name = "ldr"
+	}
+	rd := regName(instr >> 12 & 0xF)
+	rn := regName(instr >> 16 & 0xF)
+	sign := ""
+	if instr&(1<<23) == 0 {
+		sign = "-"
+	}
+	var off string
+	zeroOff := false
+	if instr&(1<<22) != 0 {
+		imm := instr>>4&0xF0 | instr&0xF
+		zeroOff = imm == 0
+		off = fmt.Sprintf("#%s%d", sign, imm)
+	} else {
+		off = sign + regName(instr&0xF)
+	}
+	pre := instr&(1<<24) != 0
+	wb := instr&(1<<21) != 0
+	switch {
+	case pre && !wb:
+		if zeroOff {
+			return fmt.Sprintf("%s%s%s %s, [%s]", name, cc, suffix, rd, rn)
+		}
+		return fmt.Sprintf("%s%s%s %s, [%s, %s]", name, cc, suffix, rd, rn, off)
+	case pre && wb:
+		return fmt.Sprintf("%s%s%s %s, [%s, %s]!", name, cc, suffix, rd, rn, off)
+	default:
+		return fmt.Sprintf("%s%s%s %s, [%s], %s", name, cc, suffix, rd, rn, off)
+	}
+}
+
+func disBlock(instr uint32, cc string) string {
+	name := "stm"
+	if instr&(1<<20) != 0 {
+		name = "ldm"
+	}
+	pu := instr >> 23 & 3 // u | p<<1 ... bits: P=24, U=23
+	p := instr >> 24 & 1
+	u := instr >> 23 & 1
+	_ = pu
+	var mode string
+	switch {
+	case p == 0 && u == 1:
+		mode = "ia"
+	case p == 1 && u == 1:
+		mode = "ib"
+	case p == 0 && u == 0:
+		mode = "da"
+	default:
+		mode = "db"
+	}
+	rn := regName(instr >> 16 & 0xF)
+	wb := ""
+	if instr&(1<<21) != 0 {
+		wb = "!"
+	}
+	caret := ""
+	if instr&(1<<22) != 0 {
+		caret = "^"
+	}
+	var regs []string
+	for i := uint32(0); i < 16; i++ {
+		if instr>>i&1 != 0 {
+			regs = append(regs, regName(i))
+		}
+	}
+	return fmt.Sprintf("%s%s%s %s%s, {%s}%s", name, cc, mode, rn, wb,
+		strings.Join(regs, ", "), caret)
+}
+
+func disCoprocessor(instr uint32, cc string) string {
+	pn := instr >> 8 & 0xF
+	crm := instr & 0xF
+	opc2 := instr >> 5 & 7
+	if instr&0x10 == 0 {
+		opc1 := instr >> 20 & 0xF
+		crd := instr >> 12 & 0xF
+		crn := instr >> 16 & 0xF
+		if opc2 != 0 {
+			return fmt.Sprintf("cdp%s p%d, %d, c%d, c%d, c%d, %d", cc, pn, opc1, crd, crn, crm, opc2)
+		}
+		return fmt.Sprintf("cdp%s p%d, %d, c%d, c%d, c%d", cc, pn, opc1, crd, crn, crm)
+	}
+	opc1 := instr >> 21 & 7
+	rd := regName(instr >> 12 & 0xF)
+	crn := instr >> 16 & 0xF
+	name := "mcr"
+	if instr&(1<<20) != 0 {
+		name = "mrc"
+	}
+	if opc2 != 0 {
+		return fmt.Sprintf("%s%s p%d, %d, %s, c%d, c%d, %d", name, cc, pn, opc1, rd, crn, crm, opc2)
+	}
+	return fmt.Sprintf("%s%s p%d, %d, %s, c%d, c%d", name, cc, pn, opc1, rd, crn, crm)
+}

@@ -1,0 +1,888 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+var conds = map[string]uint32{
+	"eq": 0x0, "ne": 0x1, "cs": 0x2, "hs": 0x2, "cc": 0x3, "lo": 0x3,
+	"mi": 0x4, "pl": 0x5, "vs": 0x6, "vc": 0x7, "hi": 0x8, "ls": 0x9,
+	"ge": 0xA, "lt": 0xB, "gt": 0xC, "le": 0xD, "al": 0xE,
+}
+
+var dpOps = map[string]uint32{
+	"and": 0, "eor": 1, "sub": 2, "rsb": 3, "add": 4, "adc": 5, "sbc": 6,
+	"rsc": 7, "tst": 8, "teq": 9, "cmp": 10, "cmn": 11, "orr": 12,
+	"mov": 13, "bic": 14, "mvn": 15,
+}
+
+var regNames = map[string]uint32{
+	"r0": 0, "r1": 1, "r2": 2, "r3": 3, "r4": 4, "r5": 5, "r6": 6, "r7": 7,
+	"r8": 8, "r9": 9, "r10": 10, "r11": 11, "r12": 12, "r13": 13, "r14": 14,
+	"r15": 15, "sl": 10, "fp": 11, "ip": 12, "sp": 13, "lr": 14, "pc": 15,
+}
+
+// roots lists instruction mnemonics longest-first so suffix stripping can
+// backtrack (e.g. "blt" is b+lt, not bl+t).
+var roots = []string{
+	"umull", "umlal", "smull", "smlal",
+	"push", "swpb", "ldm", "stm", "ldr", "str", "mul", "mla", "swp",
+	"mrs", "msr", "swi", "cdp", "mcr", "mrc", "pop", "nop", "adr",
+	"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc", "tst", "teq",
+	"cmp", "cmn", "orr", "mov", "bic", "mvn", "bx", "bl", "b",
+}
+
+var ldmModes = map[string]uint32{
+	// p<<1 | u
+	"ia": 0<<1 | 1, "ib": 1<<1 | 1, "da": 0 << 1, "db": 1 << 1,
+}
+
+// ldm/stm stack aliases resolve differently for load and store.
+var stackModesLoad = map[string]string{"fd": "ia", "ed": "ib", "fa": "da", "ea": "db"}
+var stackModesStore = map[string]string{"fd": "db", "ed": "da", "fa": "ib", "ea": "ia"}
+
+type mnemonic struct {
+	root string
+	cond uint32
+	s    bool   // S suffix
+	size string // b, h, sb, sh for ldr/str; b for swp
+	mode string // ia/ib/da/db for ldm/stm
+}
+
+// parseMnemonic splits a mnemonic into root+cond+suffixes, backtracking
+// across root candidates.
+func parseMnemonic(s string) (mnemonic, error) {
+	for _, root := range roots {
+		if !strings.HasPrefix(s, root) {
+			continue
+		}
+		rest := s[len(root):]
+		m := mnemonic{root: root, cond: 0xE}
+		ok := true
+		// Optional condition.
+		if len(rest) >= 2 {
+			if c, found := conds[rest[:2]]; found {
+				// "bls": prefer cond parse; backtracking handles the rest.
+				m.cond = c
+				rest = rest[2:]
+			}
+		}
+		switch root {
+		case "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+			"orr", "mov", "bic", "mvn", "mul", "mla",
+			"umull", "umlal", "smull", "smlal":
+			if rest == "s" {
+				m.s = true
+				rest = ""
+			}
+		case "tst", "teq", "cmp", "cmn":
+			m.s = true // always set flags
+		case "ldr":
+			switch rest {
+			case "b", "h", "sb", "sh":
+				m.size = rest
+				rest = ""
+			}
+		case "str":
+			switch rest {
+			case "b", "h":
+				m.size = rest
+				rest = ""
+			}
+		case "ldm", "stm":
+			mode := rest
+			if alias, found := map[bool]map[string]string{true: stackModesLoad, false: stackModesStore}[root == "ldm"][mode]; found {
+				mode = alias
+			}
+			if _, found := ldmModes[mode]; found {
+				m.mode = mode
+				rest = ""
+			} else if rest == "" {
+				m.mode = "ia"
+			} else {
+				ok = false
+			}
+		case "swpb":
+			m.root = "swp"
+			m.size = "b"
+		}
+		if ok && rest == "" {
+			return m, nil
+		}
+	}
+	return mnemonic{}, fmt.Errorf("unknown mnemonic %q", s)
+}
+
+func parseReg(s string) (uint32, bool) {
+	r, ok := regNames[strings.ToLower(strings.TrimSpace(s))]
+	return r, ok
+}
+
+func parseCReg(s string) (uint32, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 || s[0] != 'c' {
+		return 0, false
+	}
+	var n uint32
+	for _, ch := range s[1:] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + uint32(ch-'0')
+	}
+	return n, n < 16
+}
+
+func parsePNum(s string) (uint32, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 || s[0] != 'p' {
+		return 0, false
+	}
+	var n uint32
+	for _, ch := range s[1:] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + uint32(ch-'0')
+	}
+	return n, n < 16
+}
+
+// encodeRotImm finds the ARM rotate encoding of an immediate; ok=false if
+// the value cannot be represented.
+func encodeRotImm(v uint32) (uint32, bool) {
+	for rot := uint32(0); rot < 16; rot++ {
+		x := v<<(2*rot) | v>>(32-2*rot)
+		if rot == 0 {
+			x = v
+		}
+		if x <= 0xFF {
+			return rot<<8 | x, true
+		}
+	}
+	return 0, false
+}
+
+var shiftTypes = map[string]uint32{"lsl": 0, "lsr": 1, "asr": 2, "ror": 3}
+
+func (a *assembler) eval(it *item, expr string) (uint32, error) {
+	return evalExpr(expr, it.addr, a.lookup)
+}
+
+// parseOp2 encodes a data-processing operand 2 from the trailing operand
+// fields (one field for plain register/immediate, two when a shift follows).
+func (a *assembler) parseOp2(it *item, ops []string) (bits uint32, imm bool, err error) {
+	if len(ops) == 0 {
+		return 0, false, fmt.Errorf("missing operand")
+	}
+	first := strings.TrimSpace(ops[0])
+	if strings.HasPrefix(first, "#") {
+		if len(ops) != 1 {
+			return 0, false, fmt.Errorf("immediate cannot take a shift")
+		}
+		v, err := a.eval(it, first[1:])
+		if err != nil {
+			return 0, false, err
+		}
+		enc, ok := encodeRotImm(v)
+		if !ok {
+			return 0, false, fmt.Errorf("immediate %#x not encodable; use ldr =", v)
+		}
+		return enc, true, nil
+	}
+	rm, ok := parseReg(first)
+	if !ok {
+		return 0, false, fmt.Errorf("bad operand %q", first)
+	}
+	if len(ops) == 1 {
+		return rm, false, nil
+	}
+	if len(ops) > 2 {
+		return 0, false, fmt.Errorf("too many operands")
+	}
+	shift := strings.Fields(strings.ToLower(ops[1]))
+	if len(shift) == 1 && shift[0] == "rrx" {
+		return 3<<5 | rm, false, nil
+	}
+	if len(shift) != 2 {
+		return 0, false, fmt.Errorf("bad shift %q", ops[1])
+	}
+	st, ok := shiftTypes[shift[0]]
+	if !ok {
+		return 0, false, fmt.Errorf("bad shift type %q", shift[0])
+	}
+	if strings.HasPrefix(shift[1], "#") {
+		amt, err := a.eval(it, shift[1][1:])
+		if err != nil {
+			return 0, false, err
+		}
+		if amt == 32 && (st == 1 || st == 2) {
+			amt = 0 // LSR/ASR #32 encode as #0
+		}
+		if amt > 31 {
+			return 0, false, fmt.Errorf("shift amount %d out of range", amt)
+		}
+		return amt<<7 | st<<5 | rm, false, nil
+	}
+	rs, ok := parseReg(shift[1])
+	if !ok {
+		return 0, false, fmt.Errorf("bad shift register %q", shift[1])
+	}
+	return rs<<8 | st<<5 | 1<<4 | rm, false, nil
+}
+
+// encode assembles one instruction item into its 32-bit word.
+func (a *assembler) encode(it *item) (uint32, error) {
+	m, err := parseMnemonic(it.mnemonic)
+	if err != nil {
+		return 0, a.errf(it.line, "%v", err)
+	}
+	w, err := a.encodeRoot(it, m)
+	if err != nil {
+		return 0, a.errf(it.line, "%s: %v", it.mnemonic, err)
+	}
+	return w, nil
+}
+
+func (a *assembler) encodeRoot(it *item, m mnemonic) (uint32, error) {
+	ops := it.ops
+	cond := m.cond << 28
+	sbit := uint32(0)
+	if m.s {
+		sbit = 1 << 20
+	}
+	switch m.root {
+	case "and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+		"orr", "bic":
+		if len(ops) < 3 {
+			return 0, fmt.Errorf("need rd, rn, op2")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad rd %q", ops[0])
+		}
+		rn, ok := parseReg(ops[1])
+		if !ok {
+			return 0, fmt.Errorf("bad rn %q", ops[1])
+		}
+		op2, imm, err := a.parseOp2(it, ops[2:])
+		if err != nil {
+			return 0, err
+		}
+		w := cond | dpOps[m.root]<<21 | sbit | rn<<16 | rd<<12 | op2
+		if imm {
+			w |= 1 << 25
+		}
+		return w, nil
+	case "mov", "mvn":
+		if len(ops) < 2 {
+			return 0, fmt.Errorf("need rd, op2")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad rd %q", ops[0])
+		}
+		op2, imm, err := a.parseOp2(it, ops[1:])
+		if err != nil {
+			return 0, err
+		}
+		w := cond | dpOps[m.root]<<21 | sbit | rd<<12 | op2
+		if imm {
+			w |= 1 << 25
+		}
+		return w, nil
+	case "tst", "teq", "cmp", "cmn":
+		if len(ops) < 2 {
+			return 0, fmt.Errorf("need rn, op2")
+		}
+		rn, ok := parseReg(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad rn %q", ops[0])
+		}
+		op2, imm, err := a.parseOp2(it, ops[1:])
+		if err != nil {
+			return 0, err
+		}
+		w := cond | dpOps[m.root]<<21 | 1<<20 | rn<<16 | op2
+		if imm {
+			w |= 1 << 25
+		}
+		return w, nil
+	case "mul", "mla":
+		want := 3
+		if m.root == "mla" {
+			want = 4
+		}
+		if len(ops) != want {
+			return 0, fmt.Errorf("need %d operands", want)
+		}
+		var r [4]uint32
+		for i, o := range ops {
+			v, ok := parseReg(o)
+			if !ok {
+				return 0, fmt.Errorf("bad register %q", o)
+			}
+			r[i] = v
+		}
+		w := cond | sbit | r[0]<<16 | r[2]<<8 | 9<<4 | r[1]
+		if m.root == "mla" {
+			w |= 1<<21 | r[3]<<12
+		}
+		return w, nil
+	case "umull", "umlal", "smull", "smlal":
+		if len(ops) != 4 {
+			return 0, fmt.Errorf("need rdlo, rdhi, rm, rs")
+		}
+		var r [4]uint32
+		for i, o := range ops {
+			v, ok := parseReg(o)
+			if !ok {
+				return 0, fmt.Errorf("bad register %q", o)
+			}
+			r[i] = v
+		}
+		w := cond | 1<<23 | sbit | r[1]<<16 | r[0]<<12 | r[3]<<8 | 9<<4 | r[2]
+		if strings.HasPrefix(m.root, "s") {
+			w |= 1 << 22
+		}
+		if strings.HasSuffix(m.root, "lal") {
+			w |= 1 << 21
+		}
+		return w, nil
+	case "b", "bl":
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("need a target")
+		}
+		target, err := a.eval(it, ops[0])
+		if err != nil {
+			return 0, err
+		}
+		diff := int64(target) - int64(it.addr+8)
+		if diff&3 != 0 {
+			return 0, fmt.Errorf("branch target %#x misaligned", target)
+		}
+		off := diff >> 2
+		if off < -(1<<23) || off >= 1<<23 {
+			return 0, fmt.Errorf("branch target %#x out of range", target)
+		}
+		w := cond | 5<<25 | uint32(off)&0xFFFFFF
+		if m.root == "bl" {
+			w |= 1 << 24
+		}
+		return w, nil
+	case "bx":
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("need a register")
+		}
+		rm, ok := parseReg(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad register %q", ops[0])
+		}
+		return cond | 0x012FFF10 | rm, nil
+	case "swi":
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("need a comment field")
+		}
+		e := strings.TrimPrefix(ops[0], "#")
+		v, err := a.eval(it, e)
+		if err != nil {
+			return 0, err
+		}
+		return cond | 0xF<<24 | v&0xFFFFFF, nil
+	case "mrs":
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("need rd, psr")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad rd %q", ops[0])
+		}
+		psr := strings.ToLower(strings.TrimSpace(ops[1]))
+		w := cond | 0x010F0000 | rd<<12
+		switch psr {
+		case "cpsr":
+		case "spsr":
+			w |= 1 << 22
+		default:
+			return 0, fmt.Errorf("bad psr %q", psr)
+		}
+		return w, nil
+	case "msr":
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("need psr, source")
+		}
+		psr := strings.ToLower(strings.TrimSpace(ops[0]))
+		var spsr bool
+		var mask uint32
+		name, fields, hasFields := strings.Cut(psr, "_")
+		switch name {
+		case "cpsr":
+		case "spsr":
+			spsr = true
+		default:
+			return 0, fmt.Errorf("bad psr %q", psr)
+		}
+		if !hasFields {
+			mask = 0x9 // flags + control, the classic CPSR_fc default
+		} else {
+			for _, ch := range fields {
+				switch ch {
+				case 'c':
+					mask |= 1
+				case 'x':
+					mask |= 2
+				case 's':
+					mask |= 4
+				case 'f':
+					mask |= 8
+				case 'a': // "_all"
+					mask |= 9
+				case 'l':
+				default:
+					return 0, fmt.Errorf("bad psr field %q", psr)
+				}
+			}
+		}
+		w := cond | 1<<24 | 1<<21 | mask<<16 | 0xF<<12
+		if spsr {
+			w |= 1 << 22
+		}
+		src := strings.TrimSpace(ops[1])
+		if strings.HasPrefix(src, "#") {
+			v, err := a.eval(it, src[1:])
+			if err != nil {
+				return 0, err
+			}
+			enc, ok := encodeRotImm(v)
+			if !ok {
+				return 0, fmt.Errorf("immediate %#x not encodable", v)
+			}
+			return w | 1<<25 | enc, nil
+		}
+		rm, ok := parseReg(src)
+		if !ok {
+			return 0, fmt.Errorf("bad source %q", src)
+		}
+		return w | rm, nil
+	case "swp":
+		if len(ops) != 3 {
+			return 0, fmt.Errorf("need rd, rm, [rn]")
+		}
+		rd, ok1 := parseReg(ops[0])
+		rm, ok2 := parseReg(ops[1])
+		addr := strings.TrimSpace(ops[2])
+		if !ok1 || !ok2 || !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+			return 0, fmt.Errorf("bad operands")
+		}
+		rn, ok := parseReg(addr[1 : len(addr)-1])
+		if !ok {
+			return 0, fmt.Errorf("bad base %q", addr)
+		}
+		w := cond | 0x01000090 | rn<<16 | rd<<12 | rm
+		if m.size == "b" {
+			w |= 1 << 22
+		}
+		return w, nil
+	case "ldr", "str":
+		return a.encodeMem(it, m)
+	case "ldm", "stm":
+		return a.encodeBlock(it, m)
+	case "push", "pop":
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("need {reglist}")
+		}
+		list, _, err := parseRegList(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		if m.root == "push" {
+			// STMDB sp!, {list}
+			return cond | 4<<25 | 1<<24 | 1<<21 | 13<<16 | list, nil
+		}
+		// LDMIA sp!, {list}
+		return cond | 4<<25 | 1<<23 | 1<<21 | 1<<20 | 13<<16 | list, nil
+	case "nop":
+		return cond | dpOps["mov"]<<21, nil // MOV r0, r0
+	case "adr":
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("need rd, label")
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad rd %q", ops[0])
+		}
+		target, err := a.eval(it, ops[1])
+		if err != nil {
+			return 0, err
+		}
+		pc := it.addr + 8
+		var op, off uint32
+		if target >= pc {
+			op, off = dpOps["add"], target-pc
+		} else {
+			op, off = dpOps["sub"], pc-target
+		}
+		enc, ok := encodeRotImm(off)
+		if !ok {
+			return 0, fmt.Errorf("adr offset %#x not encodable", off)
+		}
+		return cond | 1<<25 | op<<21 | 15<<16 | rd<<12 | enc, nil
+	case "cdp":
+		// cdp p#, opc1, crd, crn, crm[, opc2]
+		if len(ops) != 5 && len(ops) != 6 {
+			return 0, fmt.Errorf("need p#, opc1, crd, crn, crm[, opc2]")
+		}
+		pn, ok := parsePNum(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad coprocessor %q", ops[0])
+		}
+		opc1, err := a.eval(it, strings.TrimPrefix(ops[1], "#"))
+		if err != nil {
+			return 0, err
+		}
+		crd, ok1 := parseCReg(ops[2])
+		crn, ok2 := parseCReg(ops[3])
+		crm, ok3 := parseCReg(ops[4])
+		if !ok1 || !ok2 || !ok3 {
+			return 0, fmt.Errorf("bad coprocessor registers")
+		}
+		opc2 := uint32(0)
+		if len(ops) == 6 {
+			opc2, err = a.eval(it, strings.TrimPrefix(ops[5], "#"))
+			if err != nil {
+				return 0, err
+			}
+		}
+		if opc1 > 15 || opc2 > 7 {
+			return 0, fmt.Errorf("opcode out of range")
+		}
+		return cond | 7<<25 | opc1<<20 | crn<<16 | crd<<12 | pn<<8 | opc2<<5 | crm, nil
+	case "mcr", "mrc":
+		// mcr p#, opc1, rd, crn, crm[, opc2]
+		if len(ops) != 5 && len(ops) != 6 {
+			return 0, fmt.Errorf("need p#, opc1, rd, crn, crm[, opc2]")
+		}
+		pn, ok := parsePNum(ops[0])
+		if !ok {
+			return 0, fmt.Errorf("bad coprocessor %q", ops[0])
+		}
+		opc1, err := a.eval(it, strings.TrimPrefix(ops[1], "#"))
+		if err != nil {
+			return 0, err
+		}
+		rd, ok1 := parseReg(ops[2])
+		crn, ok2 := parseCReg(ops[3])
+		crm, ok3 := parseCReg(ops[4])
+		if !ok1 || !ok2 || !ok3 {
+			return 0, fmt.Errorf("bad registers")
+		}
+		opc2 := uint32(0)
+		if len(ops) == 6 {
+			opc2, err = a.eval(it, strings.TrimPrefix(ops[5], "#"))
+			if err != nil {
+				return 0, err
+			}
+		}
+		if opc1 > 7 || opc2 > 7 {
+			return 0, fmt.Errorf("opcode out of range")
+		}
+		w := cond | 7<<25 | opc1<<21 | crn<<16 | rd<<12 | pn<<8 | opc2<<5 | 1<<4 | crm
+		if m.root == "mrc" {
+			w |= 1 << 20
+		}
+		return w, nil
+	}
+	return 0, fmt.Errorf("unhandled root %q", m.root)
+}
+
+// encodeMem assembles LDR/STR in all addressing modes, including literal
+// loads and pc-relative labels.
+func (a *assembler) encodeMem(it *item, m mnemonic) (uint32, error) {
+	ops := it.ops
+	if len(ops) < 2 {
+		return 0, fmt.Errorf("need rd, address")
+	}
+	rd, ok := parseReg(ops[0])
+	if !ok {
+		return 0, fmt.Errorf("bad rd %q", ops[0])
+	}
+	cond := m.cond << 28
+	load := m.root == "ldr"
+	half := m.size == "h" || m.size == "sb" || m.size == "sh"
+
+	// Literal pool load: ldr rd, =expr.
+	if strings.HasPrefix(ops[1], "=") {
+		if !load || m.size != "" {
+			return 0, fmt.Errorf("= literals only valid for ldr")
+		}
+		if it.lit == nil {
+			return 0, fmt.Errorf("internal: literal without slot")
+		}
+		pool := a.pools[it.lit.pool]
+		litAddr := pool.addr + uint32(4*it.lit.slot)
+		return a.encodePCRel(cond, rd, it.addr, litAddr)
+	}
+	// PC-relative label: ldr rd, label.
+	if !strings.HasPrefix(strings.TrimSpace(ops[1]), "[") {
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("bad address")
+		}
+		target, err := a.eval(it, ops[1])
+		if err != nil {
+			return 0, err
+		}
+		if half {
+			return 0, fmt.Errorf("pc-relative halfword loads unsupported; use a register base")
+		}
+		w, err := a.encodePCRel(cond, rd, it.addr, target)
+		if err != nil {
+			return 0, err
+		}
+		if !load {
+			w &^= 1 << 20
+		}
+		if m.size == "b" {
+			w |= 1 << 22
+		}
+		return w, nil
+	}
+
+	// Bracketed forms.
+	addrOp := strings.TrimSpace(ops[1])
+	writeback := false
+	if strings.HasSuffix(addrOp, "!") {
+		writeback = true
+		addrOp = strings.TrimSpace(addrOp[:len(addrOp)-1])
+	}
+	if !strings.HasSuffix(addrOp, "]") {
+		return 0, fmt.Errorf("bad address %q", ops[1])
+	}
+	inner := splitOperands(addrOp[1 : len(addrOp)-1])
+	post := len(ops) > 2
+	if post && writeback {
+		return 0, fmt.Errorf("cannot combine post-index and '!'")
+	}
+	rn, ok := parseReg(inner[0])
+	if !ok {
+		return 0, fmt.Errorf("bad base %q", inner[0])
+	}
+	var offOps []string
+	pre := uint32(1)
+	if post {
+		if len(inner) != 1 {
+			return 0, fmt.Errorf("post-index base must be plain [rn]")
+		}
+		pre = 0
+		writeback = false // post always writes back; W bit stays 0
+		offOps = ops[2:]
+	} else {
+		offOps = inner[1:]
+	}
+
+	up := uint32(1)
+	var offBits uint32
+	immForm := true
+	var immVal uint32
+	if len(offOps) == 0 {
+		immVal = 0
+	} else if strings.HasPrefix(strings.TrimSpace(offOps[0]), "#") {
+		if len(offOps) != 1 {
+			return 0, fmt.Errorf("immediate offset cannot be shifted")
+		}
+		v, err := a.eval(it, strings.TrimSpace(offOps[0])[1:])
+		if err != nil {
+			return 0, err
+		}
+		if int32(v) < 0 {
+			up = 0
+			v = -v
+		}
+		immVal = v
+	} else {
+		immForm = false
+		roff := strings.TrimSpace(offOps[0])
+		if strings.HasPrefix(roff, "-") {
+			up = 0
+			roff = strings.TrimSpace(roff[1:])
+		} else if strings.HasPrefix(roff, "+") {
+			roff = strings.TrimSpace(roff[1:])
+		}
+		rm, ok := parseReg(roff)
+		if !ok {
+			return 0, fmt.Errorf("bad offset register %q", roff)
+		}
+		offBits = rm
+		if len(offOps) == 2 {
+			if half {
+				return 0, fmt.Errorf("halfword transfers cannot shift the offset")
+			}
+			shift := strings.Fields(strings.ToLower(offOps[1]))
+			if len(shift) == 1 && shift[0] == "rrx" {
+				offBits |= 3 << 5
+			} else {
+				if len(shift) != 2 || !strings.HasPrefix(shift[1], "#") {
+					return 0, fmt.Errorf("bad offset shift %q", offOps[1])
+				}
+				st, ok := shiftTypes[shift[0]]
+				if !ok {
+					return 0, fmt.Errorf("bad shift type %q", shift[0])
+				}
+				amt, err := a.eval(it, shift[1][1:])
+				if err != nil {
+					return 0, err
+				}
+				if amt == 32 && (st == 1 || st == 2) {
+					amt = 0
+				}
+				if amt > 31 {
+					return 0, fmt.Errorf("shift amount out of range")
+				}
+				offBits |= amt<<7 | st<<5
+			}
+		} else if len(offOps) > 2 {
+			return 0, fmt.Errorf("too many offset operands")
+		}
+	}
+
+	wbit := uint32(0)
+	if writeback {
+		wbit = 1 << 21
+	}
+	lbit := uint32(0)
+	if load {
+		lbit = 1 << 20
+	}
+
+	if half {
+		// LDRH/STRH/LDRSB/LDRSH encoding.
+		var sh uint32
+		switch m.size {
+		case "h":
+			sh = 1
+		case "sb":
+			sh = 2
+		case "sh":
+			sh = 3
+		}
+		if (sh == 2 || sh == 3) && !load {
+			return 0, fmt.Errorf("signed stores do not exist")
+		}
+		w := cond | pre<<24 | up<<23 | wbit | lbit | rn<<16 | rd<<12 | 1<<7 | sh<<5 | 1<<4
+		if immForm {
+			if immVal > 0xFF {
+				return 0, fmt.Errorf("halfword offset %#x out of range", immVal)
+			}
+			w |= 1 << 22
+			w |= (immVal >> 4 << 8) | immVal&0xF
+		} else {
+			if offBits>>4 != 0 {
+				return 0, fmt.Errorf("halfword transfers take a plain register offset")
+			}
+			w |= offBits
+		}
+		return w, nil
+	}
+
+	w := cond | 1<<26 | pre<<24 | up<<23 | wbit | lbit | rn<<16 | rd<<12
+	if m.size == "b" {
+		w |= 1 << 22
+	}
+	if immForm {
+		if immVal > 0xFFF {
+			return 0, fmt.Errorf("offset %#x out of range", immVal)
+		}
+		w |= immVal
+	} else {
+		w |= 1<<25 | offBits
+	}
+	return w, nil
+}
+
+func (a *assembler) encodePCRel(cond, rd, addr, target uint32) (uint32, error) {
+	diff := int64(target) - int64(addr+8)
+	up := uint32(1)
+	if diff < 0 {
+		up = 0
+		diff = -diff
+	}
+	if diff > 0xFFF {
+		return 0, fmt.Errorf("pc-relative target out of range (%d bytes)", diff)
+	}
+	return cond | 1<<26 | 1<<24 | up<<23 | 1<<20 | 15<<16 | rd<<12 | uint32(diff), nil
+}
+
+// parseRegList parses "{r0-r3, lr}^", returning the bitmask and whether the
+// user-bank caret was present.
+func parseRegList(s string) (uint32, bool, error) {
+	s = strings.TrimSpace(s)
+	caret := false
+	if strings.HasSuffix(s, "^") {
+		caret = true
+		s = strings.TrimSpace(s[:len(s)-1])
+	}
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, false, fmt.Errorf("bad register list %q", s)
+	}
+	var list uint32
+	for _, part := range splitOperands(s[1 : len(s)-1]) {
+		if part == "" {
+			continue
+		}
+		lo, hi, isRange := strings.Cut(part, "-")
+		r1, ok := parseReg(lo)
+		if !ok {
+			return 0, false, fmt.Errorf("bad register %q", lo)
+		}
+		r2 := r1
+		if isRange {
+			r2, ok = parseReg(hi)
+			if !ok {
+				return 0, false, fmt.Errorf("bad register %q", hi)
+			}
+		}
+		if r2 < r1 {
+			return 0, false, fmt.Errorf("descending range %q", part)
+		}
+		for r := r1; r <= r2; r++ {
+			list |= 1 << r
+		}
+	}
+	if list == 0 {
+		return 0, false, fmt.Errorf("empty register list")
+	}
+	return list, caret, nil
+}
+
+func (a *assembler) encodeBlock(it *item, m mnemonic) (uint32, error) {
+	ops := it.ops
+	if len(ops) != 2 {
+		return 0, fmt.Errorf("need rn[!], {reglist}")
+	}
+	base := strings.TrimSpace(ops[0])
+	writeback := false
+	if strings.HasSuffix(base, "!") {
+		writeback = true
+		base = strings.TrimSpace(base[:len(base)-1])
+	}
+	rn, ok := parseReg(base)
+	if !ok {
+		return 0, fmt.Errorf("bad base %q", base)
+	}
+	list, caret, err := parseRegList(ops[1])
+	if err != nil {
+		return 0, err
+	}
+	pu := ldmModes[m.mode]
+	w := m.cond<<28 | 4<<25 | (pu>>1)<<24 | (pu&1)<<23 | rn<<16 | list
+	if writeback {
+		w |= 1 << 21
+	}
+	if m.root == "ldm" {
+		w |= 1 << 20
+	}
+	if caret {
+		w |= 1 << 22
+	}
+	return w, nil
+}

@@ -1,0 +1,346 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// exprParser evaluates assembler expressions: integer literals (decimal,
+// 0x.., 0b.., octal 0.., character 'c'), symbols, the current location
+// counter '.', unary + - ~, and binary operators with C-like precedence:
+//
+//   - /  %        (highest)
+//   - -
+//     << >>
+//     &
+//     ^
+//     |              (lowest)
+type exprParser struct {
+	s      string
+	pos    int
+	lookup func(name string) (uint32, bool)
+	dot    uint32
+}
+
+func evalExpr(s string, dot uint32, lookup func(string) (uint32, bool)) (uint32, error) {
+	p := &exprParser{s: s, lookup: lookup, dot: dot}
+	v, err := p.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return 0, fmt.Errorf("unexpected %q in expression %q", p.s[p.pos:], s)
+	}
+	return v, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *exprParser) parseOr() (uint32, error) {
+	v, err := p.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		r, err := p.parseXor()
+		if err != nil {
+			return 0, err
+		}
+		v |= r
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseXor() (uint32, error) {
+	v, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '^' {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		v ^= r
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseAnd() (uint32, error) {
+	v, err := p.parseShift()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		r, err := p.parseShift()
+		if err != nil {
+			return 0, err
+		}
+		v &= r
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseShift() (uint32, error) {
+	v, err := p.parseAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.s[p.pos:], "<<") {
+			p.pos += 2
+			r, err := p.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			v <<= r & 31
+		} else if strings.HasPrefix(p.s[p.pos:], ">>") {
+			p.pos += 2
+			r, err := p.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			v >>= r & 31
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseAdd() (uint32, error) {
+	v, err := p.parseMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMul() (uint32, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in %q", p.s)
+			}
+			v /= r
+		case '%':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero in %q", p.s)
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (uint32, error) {
+	switch p.peek() {
+	case '-':
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	case '+':
+		p.pos++
+		return p.parseUnary()
+	case '~':
+		p.pos++
+		v, err := p.parseUnary()
+		return ^v, err
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (uint32, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return 0, fmt.Errorf("unexpected end of expression %q", p.s)
+	}
+	ch := p.s[p.pos]
+	switch {
+	case ch == '(':
+		p.pos++
+		v, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ')' in %q", p.s)
+		}
+		p.pos++
+		return v, nil
+	case ch == '\'':
+		// Character literal, with \n \t \0 \\ \' escapes.
+		rest := p.s[p.pos+1:]
+		if len(rest) == 0 {
+			return 0, fmt.Errorf("unterminated char literal in %q", p.s)
+		}
+		var v uint32
+		var used int
+		if rest[0] == '\\' && len(rest) >= 2 {
+			switch rest[1] {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case 'r':
+				v = '\r'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return 0, fmt.Errorf("unknown escape \\%c", rest[1])
+			}
+			used = 2
+		} else {
+			v = uint32(rest[0])
+			used = 1
+		}
+		if len(rest) <= used || rest[used] != '\'' {
+			return 0, fmt.Errorf("unterminated char literal in %q", p.s)
+		}
+		p.pos += used + 2
+		return v, nil
+	case ch == '.' && (p.pos+1 >= len(p.s) || !isSymChar(rune(p.s[p.pos+1]))):
+		p.pos++
+		return p.dot, nil
+	case ch >= '0' && ch <= '9':
+		start := p.pos
+		for p.pos < len(p.s) && (isSymChar(rune(p.s[p.pos]))) {
+			p.pos++
+		}
+		text := p.s[start:p.pos]
+		v, err := strconv.ParseUint(text, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", text)
+		}
+		return uint32(v), nil
+	case isSymStart(rune(ch)):
+		start := p.pos
+		for p.pos < len(p.s) && isSymChar(rune(p.s[p.pos])) {
+			p.pos++
+		}
+		name := p.s[start:p.pos]
+		if p.lookup == nil {
+			return 0, fmt.Errorf("symbol %q in constant expression", name)
+		}
+		v, ok := p.lookup(name)
+		if !ok {
+			return 0, fmt.Errorf("undefined symbol %q", name)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("unexpected %q in expression %q", string(ch), p.s)
+}
+
+func isSymStart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r)
+}
+
+func isSymChar(r rune) bool {
+	return r == '_' || r == '.' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// splitOperands splits an operand string at top-level commas, respecting
+// brackets, braces and quotes.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inChar, inStr := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case inChar:
+			if ch == '\\' {
+				i++
+			} else if ch == '\'' {
+				inChar = false
+			}
+		case inStr:
+			if ch == '\\' {
+				i++
+			} else if ch == '"' {
+				inStr = false
+			}
+		case ch == '\'':
+			inChar = true
+		case ch == '"':
+			inStr = true
+		case ch == '[' || ch == '{' || ch == '(':
+			depth++
+		case ch == ']' || ch == '}' || ch == ')':
+			depth--
+		case ch == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" || len(out) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+// Package bus models the ProteanARM on-chip memory system: a 32-bit
+// little-endian bus with attachable regions (RAM and memory-mapped devices)
+// and a simple wait-state model.
+//
+// The bus is deliberately minimal: the ProteanARM of the paper is an
+// ARM7TDMI-class system-on-chip with single-cycle SRAM, so the default
+// configuration has zero wait states and the cycle cost of memory access is
+// carried by the CPU cycle model (internal/arm). Wait states can be enabled
+// per region to model slower memories.
+package bus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Access describes the kind of bus access, used for device side effects and
+// abort reporting.
+type Access int
+
+// Access kinds.
+const (
+	Load Access = iota
+	Store
+	Fetch
+)
+
+func (a Access) String() string {
+	switch a {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Fetch:
+		return "fetch"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// Fault describes a failed bus access. A nil *Fault means success.
+type Fault struct {
+	Addr   uint32
+	Access Access
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("bus fault: %s at %#08x: %s", f.Access, f.Addr, f.Reason)
+}
+
+// Region is a span of the physical address space serviced by a handler.
+// Handlers receive region-relative offsets.
+type Region interface {
+	// Size reports the number of bytes the region decodes.
+	Size() uint32
+	// Read8 and Write8 service byte accesses at a region-relative offset.
+	// Wider accesses are assembled by the bus unless the region also
+	// implements Word32Region.
+	Read8(off uint32) (byte, bool)
+	Write8(off uint32, v byte) bool
+}
+
+// Word32Region is an optional fast path for regions that service aligned
+// 32-bit accesses natively (RAM and most devices).
+type Word32Region interface {
+	Region
+	Read32(off uint32) (uint32, bool)
+	Write32(off uint32, v uint32) bool
+}
+
+// WaitStater is an optional interface for regions that insert wait states.
+type WaitStater interface {
+	// WaitStates reports extra cycles consumed per access.
+	WaitStates() uint32
+}
+
+type mapping struct {
+	base   uint32
+	limit  uint32 // inclusive upper bound
+	region Region
+}
+
+// Bus is the system interconnect. It is not safe for concurrent use; the
+// simulator is single-threaded per machine.
+type Bus struct {
+	maps []mapping
+
+	// WaitCycles accumulates wait-state cycles since the last TakeWaits
+	// call. The CPU adds these to its cycle count.
+	waitCycles uint64
+}
+
+// New returns an empty bus.
+func New() *Bus { return &Bus{} }
+
+// Map attaches region at base. Regions must not overlap.
+func (b *Bus) Map(base uint32, r Region) error {
+	size := r.Size()
+	if size == 0 {
+		return fmt.Errorf("bus: cannot map zero-sized region at %#08x", base)
+	}
+	limit := base + size - 1
+	if limit < base {
+		return fmt.Errorf("bus: region at %#08x size %#x wraps address space", base, size)
+	}
+	for _, m := range b.maps {
+		if base <= m.limit && limit >= m.base {
+			return fmt.Errorf("bus: region at %#08x..%#08x overlaps existing %#08x..%#08x",
+				base, limit, m.base, m.limit)
+		}
+	}
+	b.maps = append(b.maps, mapping{base, limit, r})
+	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	return nil
+}
+
+// MustMap is Map but panics on error; for wiring code where overlap is a
+// programming error.
+func (b *Bus) MustMap(base uint32, r Region) {
+	if err := b.Map(base, r); err != nil {
+		panic(err)
+	}
+}
+
+func (b *Bus) find(addr uint32) (mapping, bool) {
+	// Binary search over sorted, non-overlapping mappings.
+	lo, hi := 0, len(b.maps)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		m := b.maps[mid]
+		switch {
+		case addr < m.base:
+			hi = mid - 1
+		case addr > m.limit:
+			lo = mid + 1
+		default:
+			return m, true
+		}
+	}
+	return mapping{}, false
+}
+
+func (b *Bus) charge(r Region) {
+	if ws, ok := r.(WaitStater); ok {
+		b.waitCycles += uint64(ws.WaitStates())
+	}
+}
+
+// TakeWaits returns and clears the accumulated wait-state cycle count.
+func (b *Bus) TakeWaits() uint64 {
+	w := b.waitCycles
+	b.waitCycles = 0
+	return w
+}
+
+// Read8 reads one byte.
+func (b *Bus) Read8(addr uint32, kind Access) (byte, *Fault) {
+	m, ok := b.find(addr)
+	if !ok {
+		return 0, &Fault{addr, kind, "unmapped"}
+	}
+	b.charge(m.region)
+	v, ok := m.region.Read8(addr - m.base)
+	if !ok {
+		return 0, &Fault{addr, kind, "region rejected read"}
+	}
+	return v, nil
+}
+
+// Write8 writes one byte.
+func (b *Bus) Write8(addr uint32, v byte) *Fault {
+	m, ok := b.find(addr)
+	if !ok {
+		return &Fault{addr, Store, "unmapped"}
+	}
+	b.charge(m.region)
+	if !m.region.Write8(addr-m.base, v) {
+		return &Fault{addr, Store, "region rejected write"}
+	}
+	return nil
+}
+
+// Read16 reads a little-endian halfword. addr must be halfword aligned;
+// the CPU is responsible for ARM alignment behaviour.
+func (b *Bus) Read16(addr uint32, kind Access) (uint16, *Fault) {
+	lo, f := b.Read8(addr, kind)
+	if f != nil {
+		return 0, f
+	}
+	hi, f := b.Read8(addr+1, kind)
+	if f != nil {
+		return 0, f
+	}
+	return uint16(lo) | uint16(hi)<<8, nil
+}
+
+// Write16 writes a little-endian halfword.
+func (b *Bus) Write16(addr uint32, v uint16) *Fault {
+	if f := b.Write8(addr, byte(v)); f != nil {
+		return f
+	}
+	return b.Write8(addr+1, byte(v>>8))
+}
+
+// Read32 reads a little-endian word. addr must be word aligned.
+func (b *Bus) Read32(addr uint32, kind Access) (uint32, *Fault) {
+	if m, ok := b.find(addr); ok {
+		if w, ok32 := m.region.(Word32Region); ok32 && addr+3 <= m.limit {
+			b.charge(m.region)
+			v, good := w.Read32(addr - m.base)
+			if !good {
+				return 0, &Fault{addr, kind, "region rejected read"}
+			}
+			return v, nil
+		}
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		bv, f := b.Read8(addr+i, kind)
+		if f != nil {
+			return 0, f
+		}
+		v |= uint32(bv) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write32 writes a little-endian word.
+func (b *Bus) Write32(addr uint32, v uint32) *Fault {
+	if m, ok := b.find(addr); ok {
+		if w, ok32 := m.region.(Word32Region); ok32 && addr+3 <= m.limit {
+			b.charge(m.region)
+			if !w.Write32(addr-m.base, v) {
+				return &Fault{addr, Store, "region rejected write"}
+			}
+			return nil
+		}
+	}
+	for i := uint32(0); i < 4; i++ {
+		if f := b.Write8(addr+i, byte(v>>(8*i))); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// LoadBytes copies data into memory starting at addr, for program loading.
+func (b *Bus) LoadBytes(addr uint32, data []byte) error {
+	for i, v := range data {
+		if f := b.Write8(addr+uint32(i), v); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes out of memory starting at addr.
+func (b *Bus) ReadBytes(addr uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, f := b.Read8(addr+uint32(i), Load)
+		if f != nil {
+			return nil, f
+		}
+		out[i] = v
+	}
+	return out, nil
+}

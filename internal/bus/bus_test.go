@@ -1,0 +1,209 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRAMReadWrite(t *testing.T) {
+	b := New()
+	b.MustMap(0x1000, NewRAM(0x100))
+	if f := b.Write32(0x1000, 0xDEADBEEF); f != nil {
+		t.Fatal(f)
+	}
+	v, f := b.Read32(0x1000, Load)
+	if f != nil || v != 0xDEADBEEF {
+		t.Fatalf("read %#x, %v", v, f)
+	}
+	// Byte lanes are little-endian.
+	b8, _ := b.Read8(0x1000, Load)
+	if b8 != 0xEF {
+		t.Errorf("byte 0 = %#x", b8)
+	}
+	b8, _ = b.Read8(0x1003, Load)
+	if b8 != 0xDE {
+		t.Errorf("byte 3 = %#x", b8)
+	}
+	// Halfword access.
+	h, _ := b.Read16(0x1002, Load)
+	if h != 0xDEAD {
+		t.Errorf("half = %#x", h)
+	}
+	if f := b.Write16(0x1004, 0x1234); f != nil {
+		t.Fatal(f)
+	}
+	h, _ = b.Read16(0x1004, Load)
+	if h != 0x1234 {
+		t.Errorf("half rt = %#x", h)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	b := New()
+	b.MustMap(0x1000, NewRAM(0x100))
+	if _, f := b.Read32(0x2000, Load); f == nil {
+		t.Error("unmapped read did not fault")
+	}
+	if f := b.Write8(0xFFFFFFFF, 1); f == nil {
+		t.Error("unmapped write did not fault")
+	}
+	if _, f := b.Read32(0x10FE, Fetch); f == nil {
+		t.Error("read straddling the end of a region did not fault")
+	}
+	// Fault formatting mentions the access and address.
+	_, f := b.Read8(0x2000, Fetch)
+	if f == nil || f.Access != Fetch || f.Addr != 0x2000 {
+		t.Errorf("fault = %+v", f)
+	}
+	if f.Error() == "" {
+		t.Error("empty fault message")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	b := New()
+	b.MustMap(0x1000, NewRAM(0x100))
+	if err := b.Map(0x1080, NewRAM(0x100)); err == nil {
+		t.Fatal("overlapping map accepted")
+	}
+	if err := b.Map(0x0F81, NewRAM(0x100)); err == nil {
+		t.Fatal("overlapping map accepted")
+	}
+	if err := b.Map(0x1100, NewRAM(0x100)); err != nil {
+		t.Fatalf("adjacent map rejected: %v", err)
+	}
+}
+
+func TestZeroSizeAndWrapRejected(t *testing.T) {
+	b := New()
+	if err := b.Map(0, NewRAM(0)); err == nil {
+		t.Error("zero-size region accepted")
+	}
+	if err := b.Map(0xFFFFFF00, NewRAM(0x200)); err == nil {
+		t.Error("wrapping region accepted")
+	}
+}
+
+func TestWaitStates(t *testing.T) {
+	b := New()
+	b.MustMap(0, NewRAMWaits(0x100, 2))
+	b.Read32(0, Load)
+	b.Write32(4, 9)
+	if w := b.TakeWaits(); w != 4 {
+		t.Errorf("wait cycles = %d, want 4", w)
+	}
+	if w := b.TakeWaits(); w != 0 {
+		t.Errorf("waits not cleared: %d", w)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	b := New()
+	b.MustMap(0, NewRAM(0x10000))
+	f := func(addr uint16, v uint32) bool {
+		a := uint32(addr) &^ 3
+		if fl := b.Write32(a, v); fl != nil {
+			return false
+		}
+		got, fl := b.Read32(a, Load)
+		return fl == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadReadBytes(t *testing.T) {
+	b := New()
+	b.MustMap(0x100, NewRAM(0x100))
+	data := []byte{1, 2, 3, 4, 5}
+	if err := b.LoadBytes(0x110, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBytes(0x110, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+	if err := b.LoadBytes(0x1FE, data); err == nil {
+		t.Error("overflowing load did not fail")
+	}
+}
+
+func TestTimerExpiry(t *testing.T) {
+	tm := NewTimer()
+	tm.SetPeriod(100)
+	tm.Enable(true)
+	tm.Tick(99)
+	if tm.IRQ() {
+		t.Fatal("early IRQ")
+	}
+	tm.Tick(1)
+	if !tm.IRQ() {
+		t.Fatal("no IRQ at expiry")
+	}
+	tm.Ack()
+	if tm.IRQ() {
+		t.Fatal("ack did not clear")
+	}
+	// Multiple periods in one tick still assert once and count expiries.
+	tm.Tick(250)
+	if !tm.IRQ() || tm.Expiries != 3 {
+		t.Fatalf("expiries = %d irq=%v", tm.Expiries, tm.IRQ())
+	}
+}
+
+func TestTimerDisabled(t *testing.T) {
+	tm := NewTimer()
+	tm.SetPeriod(10)
+	tm.Tick(100)
+	if tm.IRQ() {
+		t.Fatal("disabled timer fired")
+	}
+}
+
+func TestTimerMMIO(t *testing.T) {
+	b := New()
+	tm := NewTimer()
+	b.MustMap(0xF000, tm)
+	b.Write32(0xF000+TimerRegLoad, 50)
+	b.Write32(0xF000+TimerRegCtrl, 1)
+	tm.Tick(60)
+	v, _ := b.Read32(0xF000+TimerRegPending, Load)
+	if v != 1 {
+		t.Fatal("pending not visible via MMIO")
+	}
+	b.Write32(0xF000+TimerRegIntAck, 1)
+	v, _ = b.Read32(0xF000+TimerRegPending, Load)
+	if v != 0 {
+		t.Fatal("ack via MMIO failed")
+	}
+	p, _ := b.Read32(0xF000+TimerRegLoad, Load)
+	if p != 50 {
+		t.Fatalf("period readback = %d", p)
+	}
+}
+
+func TestConsoleCapture(t *testing.T) {
+	b := New()
+	c := NewConsole()
+	b.MustMap(0xF100, c)
+	for _, ch := range []byte("hi!") {
+		b.Write32(0xF100+ConsoleRegPut, uint32(ch))
+	}
+	if c.String() != "hi!" {
+		t.Fatalf("console = %q", c.String())
+	}
+	v, _ := b.Read32(0xF100+ConsoleRegStat, Load)
+	if v != 1 {
+		t.Fatal("console not ready")
+	}
+	c.Reset()
+	if c.String() != "" {
+		t.Fatal("reset did not clear")
+	}
+}

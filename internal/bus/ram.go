@@ -1,0 +1,69 @@
+package bus
+
+// RAM is a flat byte-addressable memory region. The zero value is unusable;
+// use NewRAM.
+type RAM struct {
+	data  []byte
+	waits uint32
+}
+
+// NewRAM allocates a RAM region of size bytes with zero wait states.
+func NewRAM(size uint32) *RAM {
+	return &RAM{data: make([]byte, size)}
+}
+
+// NewRAMWaits allocates a RAM region that charges waits extra cycles per
+// access, modelling slower off-chip memory.
+func NewRAMWaits(size, waits uint32) *RAM {
+	return &RAM{data: make([]byte, size), waits: waits}
+}
+
+// Size reports the region size in bytes.
+func (r *RAM) Size() uint32 { return uint32(len(r.data)) }
+
+// WaitStates reports the configured wait states per access.
+func (r *RAM) WaitStates() uint32 { return r.waits }
+
+// Read8 implements Region.
+func (r *RAM) Read8(off uint32) (byte, bool) {
+	if off >= uint32(len(r.data)) {
+		return 0, false
+	}
+	return r.data[off], true
+}
+
+// Write8 implements Region.
+func (r *RAM) Write8(off uint32, v byte) bool {
+	if off >= uint32(len(r.data)) {
+		return false
+	}
+	r.data[off] = v
+	return true
+}
+
+// Read32 implements Word32Region.
+func (r *RAM) Read32(off uint32) (uint32, bool) {
+	if off+3 >= uint32(len(r.data)) || off+3 < off {
+		return 0, false
+	}
+	d := r.data[off : off+4 : off+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, true
+}
+
+// Write32 implements Word32Region.
+func (r *RAM) Write32(off uint32, v uint32) bool {
+	if off+3 >= uint32(len(r.data)) || off+3 < off {
+		return false
+	}
+	d := r.data[off : off+4 : off+4]
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	d[2] = byte(v >> 16)
+	d[3] = byte(v >> 24)
+	return true
+}
+
+// Bytes exposes the backing store for fast bulk loading in tests and
+// loaders. Mutating it is equivalent to writing through the bus without
+// wait-state charges.
+func (r *RAM) Bytes() []byte { return r.data }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"protean/internal/fabric"
+)
+
+// Model is the execution model of a custom-instruction circuit loaded into
+// a PFU: one Step per clock with the paper's init/done protocol, plus state
+// capture for the split-configuration swap path (§4.1).
+type Model interface {
+	// Reset restores the power-on state of a freshly configured circuit.
+	Reset()
+	// Step advances one clock with the operand buses held at a and b.
+	Step(a, b uint32, init bool) (out uint32, done bool)
+	// SaveState reads back the CLB register contents (state frames).
+	SaveState() []byte
+	// LoadState restores saved state frames.
+	LoadState(state []byte) error
+}
+
+// Image is a custom-instruction circuit as shipped inside an application:
+// the static configuration bitstream plus a way to instantiate its
+// execution model. The OS identifies images by pointer; applications refer
+// to them through the registration syscall.
+type Image struct {
+	// Name identifies the image in traces and reports.
+	Name string
+	// StaticBytes is the size of the static configuration (the 54 KB of
+	// §4.1 for a 500-CLB PFU) that must cross the configuration port on
+	// every load.
+	StaticBytes int
+	// StateBytes is the size of the state frame group that must be saved
+	// and restored when a live circuit is swapped.
+	StateBytes int
+	// Stateful marks circuits whose CLB registers carry meaning BETWEEN
+	// invocations (like the twofish block FSM), not just within one. A
+	// stateful instruction that has been deferred to its software
+	// alternative must not be silently moved back to hardware: the
+	// alternative keeps its state in process memory, the circuit in CLB
+	// registers, and the OS cannot translate between them.
+	Stateful bool
+	// New instantiates the circuit's execution model.
+	New func() (Model, error)
+}
+
+// NewFabricImage builds an Image from a gate-level netlist: it is
+// optimised, placed onto the PFU array, and encoded to a real bitstream.
+// Every instantiation decodes the bitstream, which doubles as the OS-side
+// configuration validation (combinational loops are rejected, §2's
+// functional security requirement).
+func NewFabricImage(name string, n *fabric.Netlist, spec fabric.ArraySpec) (*Image, error) {
+	fabric.Optimize(n)
+	cfg, _, err := fabric.Place(n, spec)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := fabric.EncodeStatic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{
+		Name:        name,
+		StaticBytes: len(bits),
+		StateBytes:  fabric.StateBytes(spec),
+		New: func() (Model, error) {
+			img, err := fabric.Decode(bits)
+			if err != nil {
+				return nil, err
+			}
+			p, err := fabric.NewPFU(img.Config)
+			if err != nil {
+				return nil, err
+			}
+			return &fabricModel{p: p}, nil
+		},
+	}, nil
+}
+
+// fabricModel adapts fabric.PFU to the Model interface, packing FF state
+// into state-frame bytes.
+type fabricModel struct {
+	p *fabric.PFU
+}
+
+func (m *fabricModel) Reset() { m.p.Reset() }
+
+func (m *fabricModel) Step(a, b uint32, init bool) (uint32, bool) {
+	return m.p.Step(a, b, init)
+}
+
+func (m *fabricModel) SaveState() []byte {
+	bits := m.p.SaveState()
+	out := make([]byte, (len(bits)+7)/8)
+	for i, v := range bits {
+		if v {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+func (m *fabricModel) LoadState(state []byte) error {
+	n := m.p.Spec().CLBs()
+	if len(state) != (n+7)/8 {
+		return fmt.Errorf("core: state image %d bytes, want %d", len(state), (n+7)/8)
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = state[i/8]>>(i%8)&1 != 0
+	}
+	return m.p.LoadState(bits)
+}
+
+// BehaviouralSpec describes a behavioural circuit model: a cycle-accurate
+// Go implementation standing in for a gate-level design, with the same
+// interface and configuration costs. The experiment workloads use these
+// (the stock gate-level circuits in internal/fabric validate that the two
+// kinds of model agree where both exist).
+type BehaviouralSpec struct {
+	Name string
+	// Stateful: see Image.Stateful.
+	Stateful bool
+	// Spec is the PFU geometry the circuit would occupy; configuration
+	// sizes derive from it.
+	Spec fabric.ArraySpec
+	// StateWords is how many 32-bit words of internal state the model
+	// exposes to SaveState/LoadState.
+	StateWords int
+	// Step is the per-clock behaviour over the state slice.
+	Step func(state []uint32, a, b uint32, init bool) (out uint32, done bool)
+}
+
+// NewBehaviouralImage builds an Image from a behavioural model.
+func NewBehaviouralImage(spec BehaviouralSpec) *Image {
+	return &Image{
+		Name:        spec.Name,
+		StaticBytes: fabric.StaticBytes(spec.Spec),
+		StateBytes:  fabric.StateBytes(spec.Spec),
+		Stateful:    spec.Stateful,
+		New: func() (Model, error) {
+			return &behaviouralModel{spec: spec, state: make([]uint32, spec.StateWords)}, nil
+		},
+	}
+}
+
+type behaviouralModel struct {
+	spec  BehaviouralSpec
+	state []uint32
+}
+
+func (m *behaviouralModel) Reset() {
+	for i := range m.state {
+		m.state[i] = 0
+	}
+}
+
+func (m *behaviouralModel) Step(a, b uint32, init bool) (uint32, bool) {
+	return m.spec.Step(m.state, a, b, init)
+}
+
+func (m *behaviouralModel) SaveState() []byte {
+	out := make([]byte, 4*len(m.state))
+	for i, w := range m.state {
+		out[i*4] = byte(w)
+		out[i*4+1] = byte(w >> 8)
+		out[i*4+2] = byte(w >> 16)
+		out[i*4+3] = byte(w >> 24)
+	}
+	return out
+}
+
+func (m *behaviouralModel) LoadState(state []byte) error {
+	if len(state) != 4*len(m.state) {
+		return fmt.Errorf("core: state %d bytes, want %d", len(state), 4*len(m.state))
+	}
+	for i := range m.state {
+		m.state[i] = uint32(state[i*4]) | uint32(state[i*4+1])<<8 |
+			uint32(state[i*4+2])<<16 | uint32(state[i*4+3])<<24
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package core implements the Proteus architecture's reconfigurable
+// function unit (RFU) — the paper's primary contribution. The RFU sits on
+// the processor as coprocessor p1 and contains:
+//
+//   - a 16-entry 32-bit register file feeding the PFUs (§4),
+//   - a set of Programmable Function Units executing custom instructions
+//     with the two-word-in/one-word-out interface and the init/done
+//     long-instruction protocol with per-PFU status registers (§4.4),
+//   - the dispatch mechanism of §4.2 (Figure 1): two TLBs, each a CAM over
+//     (PID, CID) tuples indexing a RAM line, resolving an exec instruction
+//     to a PFU, to a software-alternative address, or to a fault,
+//   - the operand-capture registers backing software dispatch (§4.3),
+//   - per-PFU usage counters for the OS replacement policies (§4.5),
+//   - the configuration port with split static/state transfers (§4.1).
+package core
+
+// IDTuple is the system-unique name under which a process refers to a
+// custom instruction: the processor-held PID combined with the
+// process-chosen Circuit ID. A custom instruction instance can have many ID
+// tuples (sharing); a tuple resolves to at most one instance.
+type IDTuple struct {
+	PID uint32
+	CID uint32
+}
+
+// TLB is one translation buffer of the dispatch mechanism: a fully
+// associative CAM over ID tuples indexing a RAM of 32-bit lines (a PFU
+// number for TLB1, a software address for TLB2). Replacement is
+// round-robin over the entry array, the usual hardware choice.
+//
+// Because entries are PID-tagged, nothing needs flushing on a context
+// switch — the core advantage over PRISC's per-PFU ID registers.
+type TLB struct {
+	entries []tlbEntry
+	next    int // round-robin insertion cursor
+
+	// Lookups and Misses count CAM probes for statistics.
+	Lookups uint64
+	Misses  uint64
+}
+
+type tlbEntry struct {
+	valid bool
+	key   IDTuple
+	val   uint32
+}
+
+// NewTLB returns a TLB with the given number of CAM entries.
+func NewTLB(entries int) *TLB {
+	return &TLB{entries: make([]tlbEntry, entries)}
+}
+
+// Size reports the CAM capacity.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// Lookup probes the CAM.
+func (t *TLB) Lookup(key IDTuple) (uint32, bool) {
+	t.Lookups++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.key == key {
+			return e.val, true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Insert installs a mapping, replacing an existing mapping for the same
+// tuple or evicting round-robin when full. It reports the evicted tuple, if
+// any, so the OS can account for mapping pressure.
+func (t *TLB) Insert(key IDTuple, val uint32) (evicted IDTuple, didEvict bool) {
+	// Same-key update.
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].key == key {
+			t.entries[i].val = val
+			return IDTuple{}, false
+		}
+	}
+	// Free slot.
+	for i := range t.entries {
+		j := (t.next + i) % len(t.entries)
+		if !t.entries[j].valid {
+			t.entries[j] = tlbEntry{valid: true, key: key, val: val}
+			t.next = (j + 1) % len(t.entries)
+			return IDTuple{}, false
+		}
+	}
+	// Evict at cursor.
+	j := t.next
+	old := t.entries[j].key
+	t.entries[j] = tlbEntry{valid: true, key: key, val: val}
+	t.next = (j + 1) % len(t.entries)
+	return old, true
+}
+
+// Remove invalidates the mapping for a tuple, reporting whether it existed.
+func (t *TLB) Remove(key IDTuple) bool {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].key == key {
+			t.entries[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveIf invalidates every mapping the predicate selects and reports how
+// many were dropped. The OS uses this to purge a PFU's tuples on eviction
+// or a process's tuples on exit.
+func (t *TLB) RemoveIf(pred func(key IDTuple, val uint32) bool) int {
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && pred(e.key, e.val) {
+			e.valid = false
+			n++
+		}
+	}
+	return n
+}
+
+// Entries returns a snapshot of the valid mappings, for debugging tools.
+func (t *TLB) Entries() map[IDTuple]uint32 {
+	out := make(map[IDTuple]uint32)
+	for i := range t.entries {
+		if t.entries[i].valid {
+			out[t.entries[i].key] = t.entries[i].val
+		}
+	}
+	return out
+}

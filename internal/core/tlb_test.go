@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBInsertLookup(t *testing.T) {
+	tlb := NewTLB(4)
+	k := IDTuple{PID: 3, CID: 7}
+	if _, ok := tlb.Lookup(k); ok {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Insert(k, 42)
+	v, ok := tlb.Lookup(k)
+	if !ok || v != 42 {
+		t.Fatalf("lookup = %d,%v", v, ok)
+	}
+	// Same-key insert updates in place.
+	tlb.Insert(k, 43)
+	v, _ = tlb.Lookup(k)
+	if v != 43 {
+		t.Fatalf("update failed: %d", v)
+	}
+}
+
+func TestTLBPIDIsolation(t *testing.T) {
+	// Identical CIDs under different PIDs are distinct tuples — the whole
+	// point of PID-tagged dispatch (§4.2): no flush on context switch.
+	tlb := NewTLB(8)
+	tlb.Insert(IDTuple{PID: 1, CID: 5}, 10)
+	tlb.Insert(IDTuple{PID: 2, CID: 5}, 20)
+	v1, ok1 := tlb.Lookup(IDTuple{PID: 1, CID: 5})
+	v2, ok2 := tlb.Lookup(IDTuple{PID: 2, CID: 5})
+	if !ok1 || !ok2 || v1 != 10 || v2 != 20 {
+		t.Fatalf("isolation broken: %d,%v / %d,%v", v1, ok1, v2, ok2)
+	}
+}
+
+func TestTLBManyToOne(t *testing.T) {
+	// Several tuples may name one circuit (§4.2: "a custom instruction can
+	// have many ID tuples associated with it").
+	tlb := NewTLB(8)
+	tlb.Insert(IDTuple{PID: 1, CID: 1}, 2)
+	tlb.Insert(IDTuple{PID: 1, CID: 9}, 2)
+	tlb.Insert(IDTuple{PID: 7, CID: 4}, 2)
+	for _, k := range []IDTuple{{1, 1}, {1, 9}, {7, 4}} {
+		if v, ok := tlb.Lookup(k); !ok || v != 2 {
+			t.Fatalf("tuple %v lost", k)
+		}
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(IDTuple{PID: 1, CID: 1}, 1)
+	tlb.Insert(IDTuple{PID: 1, CID: 2}, 2)
+	evicted, did := tlb.Insert(IDTuple{PID: 1, CID: 3}, 3)
+	if !did {
+		t.Fatal("full TLB did not evict")
+	}
+	if _, ok := tlb.Lookup(evicted); ok {
+		t.Fatal("evicted tuple still resident")
+	}
+	if _, ok := tlb.Lookup(IDTuple{PID: 1, CID: 3}); !ok {
+		t.Fatal("new tuple not resident")
+	}
+	// Exactly 2 of the 3 tuples resident.
+	n := 0
+	for _, k := range []IDTuple{{1, 1}, {1, 2}, {1, 3}} {
+		if _, ok := tlb.Lookup(k); ok {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("%d tuples resident, want 2", n)
+	}
+}
+
+func TestTLBRemove(t *testing.T) {
+	tlb := NewTLB(4)
+	k := IDTuple{PID: 1, CID: 1}
+	tlb.Insert(k, 9)
+	if !tlb.Remove(k) {
+		t.Fatal("remove failed")
+	}
+	if tlb.Remove(k) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := tlb.Lookup(k); ok {
+		t.Fatal("removed tuple still hits")
+	}
+}
+
+func TestTLBRemoveIf(t *testing.T) {
+	tlb := NewTLB(8)
+	tlb.Insert(IDTuple{PID: 1, CID: 1}, 0)
+	tlb.Insert(IDTuple{PID: 1, CID: 2}, 1)
+	tlb.Insert(IDTuple{PID: 2, CID: 1}, 0)
+	// Purge everything pointing at PFU 0.
+	n := tlb.RemoveIf(func(k IDTuple, v uint32) bool { return v == 0 })
+	if n != 2 {
+		t.Fatalf("purged %d, want 2", n)
+	}
+	if _, ok := tlb.Lookup(IDTuple{PID: 1, CID: 2}); !ok {
+		t.Fatal("survivor purged")
+	}
+}
+
+func TestTLBStats(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Lookup(IDTuple{})
+	tlb.Insert(IDTuple{PID: 1, CID: 1}, 0)
+	tlb.Lookup(IDTuple{PID: 1, CID: 1})
+	if tlb.Lookups != 2 || tlb.Misses != 1 {
+		t.Fatalf("lookups=%d misses=%d", tlb.Lookups, tlb.Misses)
+	}
+}
+
+// Property: after any insert sequence, a lookup of the most recently
+// inserted tuple always hits with the right value (round-robin never evicts
+// the newest entry).
+func TestTLBNewestSurvives(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tlb := NewTLB(4)
+		var last IDTuple
+		var lastVal uint32
+		for i, k := range keys {
+			key := IDTuple{PID: uint32(k >> 8), CID: uint32(k & 0xFF)}
+			tlb.Insert(key, uint32(i))
+			last, lastVal = key, uint32(i)
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		v, ok := tlb.Lookup(last)
+		return ok && v == lastVal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of valid entries never exceeds capacity.
+func TestTLBCapacityInvariant(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tlb := NewTLB(3)
+		for i, k := range keys {
+			tlb.Insert(IDTuple{PID: uint32(k >> 8), CID: uint32(k & 0xFF)}, uint32(i))
+		}
+		return len(tlb.Entries()) <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

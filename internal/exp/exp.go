@@ -1,0 +1,227 @@
+// Package exp is the experiment harness that regenerates the paper's
+// evaluation (§5.1): Figure 2 (basic scheduling test) and Figure 3
+// (software dispatch test), plus the ablations DESIGN.md lists.
+//
+// Completion time is measured in clock cycles of the modelled processor,
+// exactly as the paper's y-axes. Because simulating the full-size runs
+// (~10^8–10^9 cycles each) for a hundred configurations is expensive, the
+// harness scales runs down while preserving the ratios that shape the
+// figures; see Scale.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"protean/internal/asm"
+	"protean/internal/core"
+	"protean/internal/kernel"
+	"protean/internal/machine"
+	"protean/internal/workload"
+)
+
+// Paper-scale constants: the ProteanARM is assumed to clock at 100 MHz, so
+// the paper's quanta translate to cycles as below.
+const (
+	Quantum10ms  = 1_000_000
+	Quantum1ms   = 100_000
+	Quantum100ms = 10_000_000 // the Windows NT / BSD batch quantum of §5.1.3
+)
+
+// baseItems gives each application's full-scale work-unit count, sized so
+// a single accelerated instance completes in ~1.2e8 cycles, matching the
+// paper's Figure 2 left edge.
+var baseItems = map[workload.Kind]int{
+	workload.Alpha:   4_000_000,
+	workload.Echo:    2_400_000,
+	workload.Twofish: 1_100_000,
+}
+
+// Scale shrinks experiments by an integer factor S while preserving the
+// ratios that determine the figures' shape:
+//
+//   - quanta are divided by S (so work-units per quantum shrink),
+//   - per-instance work is divided by S (so quanta per run are preserved),
+//   - configuration-port bandwidth is multiplied by S (so the
+//     configuration cost : quantum ratio — the key quantity behind the
+//     1 ms degradation — is exactly preserved),
+//   - kernel management costs are divided by S (same reason).
+//
+// Scale 1 is the paper-size experiment.
+type Scale struct {
+	Factor int
+}
+
+// Items returns the scaled work-unit count for an app.
+func (s Scale) Items(kind workload.Kind) int {
+	n := baseItems[kind] / s.factor()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (s Scale) factor() int {
+	if s.Factor <= 0 {
+		return 1
+	}
+	return s.Factor
+}
+
+// Quantum scales a paper-scale quantum.
+func (s Scale) Quantum(cycles uint32) uint32 {
+	q := cycles / uint32(s.factor())
+	if q < 100 {
+		q = 100
+	}
+	return q
+}
+
+// Costs returns the scaled kernel cost model.
+func (s Scale) Costs() kernel.CostModel {
+	div := func(v uint32) uint32 {
+		v /= uint32(s.factor())
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	d := kernel.DefaultCosts
+	return kernel.CostModel{
+		ContextSwitch:    div(d.ContextSwitch),
+		FaultEntry:       div(d.FaultEntry),
+		SyscallEntry:     div(d.SyscallEntry),
+		MapInstall:       div(d.MapInstall),
+		ScheduleDecision: div(d.ScheduleDecision),
+	}
+}
+
+// ConfigBytesPerCycle returns the scaled configuration-port bandwidth. At
+// scale 1 this is 1 byte/cycle — an 8-bit configuration port at core
+// clock, which makes a full 54 KB load cost ~54k cycles: 5.4% of a 10 ms
+// quantum but 54% of a 1 ms quantum, the asymmetry behind Figure 2.
+func (s Scale) ConfigBytesPerCycle() uint32 { return uint32(s.factor()) }
+
+// Scenario is one schedulable run: n instances of an application under a
+// kernel configuration.
+type Scenario struct {
+	App       workload.Kind
+	Mode      workload.Mode
+	Instances int
+	Items     int // work units per instance
+	Quantum   uint32
+	Policy    kernel.PolicyKind
+	Soft      bool // software-dispatch mode
+	Sharing   bool
+	Seed      int64
+	Scale     Scale
+	// FullReadback disables split configuration (A2 ablation).
+	FullReadback bool
+	// TLB1Entries overrides the dispatch TLB size (0 = default).
+	TLB1Entries int
+	// PageInCycles charges a paper-scale page-in cost per configuration
+	// load (scaled like the quanta); 0 = bitstreams resident (A6).
+	PageInCycles uint32
+	// Budget caps simulated cycles; 0 = generous default.
+	Budget uint64
+}
+
+// Result is the outcome of one scenario.
+type Result struct {
+	// Completion is the cycle at which the last instance finished — the
+	// y-axis of Figures 2 and 3.
+	Completion uint64
+	// PerProcess lists each instance's completion cycle.
+	PerProcess []uint64
+	CIS        kernel.CISStats
+	Kernel     kernel.KernelStats
+	RFU        core.Stats
+}
+
+// Run executes a scenario and verifies every instance's checksum against
+// the Go model; a mismatch is an error, so every experiment doubles as a
+// correctness test of the whole stack.
+func Run(sc Scenario) (*Result, error) {
+	if sc.Instances <= 0 {
+		return nil, fmt.Errorf("exp: need at least one instance")
+	}
+	items := sc.Items
+	if items <= 0 {
+		items = sc.Scale.Items(sc.App)
+	}
+	app, err := workload.Build(sc.App, items, sc.Mode)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(machine.Config{
+		ConfigBytesPerCycle: sc.Scale.ConfigBytesPerCycle(),
+		RFU:                 core.Config{TLB1Entries: sc.TLB1Entries},
+	})
+	pageIn := sc.PageInCycles / uint32(sc.Scale.factor())
+	if sc.PageInCycles > 0 && pageIn == 0 {
+		pageIn = 1
+	}
+	k := kernel.New(m, kernel.Config{
+		Quantum:      sc.Quantum,
+		Policy:       sc.Policy,
+		SoftDispatch: sc.Soft,
+		Sharing:      sc.Sharing,
+		Costs:        sc.Scale.Costs(),
+		Seed:         sc.Seed,
+		FullReadback: sc.FullReadback,
+		PageInCycles: pageIn,
+	})
+	for i := 0; i < sc.Instances; i++ {
+		prog, err := asm.Assemble(app.Source, k.NextBase())
+		if err != nil {
+			return nil, fmt.Errorf("exp: assemble %s: %w", app.Name, err)
+		}
+		if _, err := k.Spawn(fmt.Sprintf("%s#%d", app.Name, i+1), prog, app.Images); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.Start(); err != nil {
+		return nil, err
+	}
+	budget := sc.Budget
+	if budget == 0 {
+		// Generous: per-instance work times instances, times a thrash
+		// allowance (echo at 1 ms can run ~50x over ideal when both its
+		// circuits reload every quantum).
+		budget = uint64(items) * uint64(sc.Instances) * 20_000
+		if budget < 2_000_000_000 {
+			budget = 2_000_000_000
+		}
+	}
+	if err := k.Run(budget); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		CIS:    k.CIS.Stats,
+		Kernel: k.Stats,
+		RFU:    m.RFU.Stats,
+	}
+	for _, p := range k.Processes() {
+		if p.State != kernel.ProcExited {
+			return nil, fmt.Errorf("exp: %s did not exit cleanly (%v)", p.Name, p.State)
+		}
+		if p.ExitCode != app.Expected {
+			return nil, fmt.Errorf("exp: %s checksum %#x, want %#x — simulation corrupted",
+				p.Name, p.ExitCode, app.Expected)
+		}
+		res.PerProcess = append(res.PerProcess, p.Stats.CompletionCycle)
+		if p.Stats.CompletionCycle > res.Completion {
+			res.Completion = p.Stats.CompletionCycle
+		}
+	}
+	return res, nil
+}
+
+// Progress is an optional sink for run-by-run progress lines.
+type Progress = io.Writer
+
+func progressf(w Progress, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,427 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"protean/internal/kernel"
+	"protean/internal/workload"
+)
+
+// testScale keeps unit-test experiments fast; the benchmarks and
+// cmd/experiments run finer scales.
+var testScale = Scale{Factor: 400}
+
+func TestScaleArithmetic(t *testing.T) {
+	s := Scale{Factor: 100}
+	if s.Quantum(Quantum10ms) != 10_000 {
+		t.Errorf("10ms at /100 = %d", s.Quantum(Quantum10ms))
+	}
+	if s.Quantum(Quantum1ms) != 1000 {
+		t.Errorf("1ms at /100 = %d", s.Quantum(Quantum1ms))
+	}
+	if s.ConfigBytesPerCycle() != 100 {
+		t.Errorf("config bandwidth = %d", s.ConfigBytesPerCycle())
+	}
+	if s.Items(workload.Alpha) != 40_000 {
+		t.Errorf("alpha items = %d", s.Items(workload.Alpha))
+	}
+	// The key preserved ratio: config cycles / quantum.
+	full := Scale{Factor: 1}
+	r1 := 54086.0 / float64(full.Quantum(Quantum1ms))
+	r100 := (54086.0 / float64(s.ConfigBytesPerCycle())) / float64(s.Quantum(Quantum1ms))
+	if r1/r100 < 0.99 || r1/r100 > 1.01 {
+		t.Errorf("scaling broke the config/quantum ratio: %.3f vs %.3f", r1, r100)
+	}
+	// Degenerate factors clamp.
+	z := Scale{}
+	if z.factor() != 1 {
+		t.Error("zero factor must behave as 1")
+	}
+}
+
+func TestRunVerifiesChecksums(t *testing.T) {
+	res, err := Run(Scenario{
+		App:       workload.Alpha,
+		Mode:      workload.ModeHWOnly,
+		Instances: 2,
+		Quantum:   testScale.Quantum(Quantum10ms),
+		Scale:     testScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerProcess) != 2 || res.Completion == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.CIS.Loads != 2 {
+		t.Errorf("loads = %d", res.CIS.Loads)
+	}
+}
+
+func TestRunRejectsBadScenario(t *testing.T) {
+	if _, err := Run(Scenario{App: workload.Alpha, Instances: 0}); err == nil {
+		t.Fatal("zero instances accepted")
+	}
+}
+
+func TestLinearRegionAndKnee(t *testing.T) {
+	// Alpha: completion at n=2 roughly double n=1; contention appears at
+	// n=5 as extra loads.
+	get := func(n int) *Result {
+		res, err := Run(Scenario{
+			App:       workload.Alpha,
+			Mode:      workload.ModeHWOnly,
+			Instances: n,
+			Quantum:   testScale.Quantum(Quantum1ms),
+			Scale:     testScale,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2, r4, r5 := get(1), get(2), get(4), get(5)
+	lin := float64(r2.Completion) / float64(r1.Completion)
+	if lin < 1.7 || lin > 2.4 {
+		t.Errorf("n=2/n=1 = %.2f, want ~2", lin)
+	}
+	if r4.CIS.Evictions != 0 {
+		t.Errorf("evictions at n=4: %d", r4.CIS.Evictions)
+	}
+	if r5.CIS.Evictions == 0 {
+		t.Error("no evictions at n=5 (knee missing)")
+	}
+	perInst4 := float64(r4.Completion) / 4
+	perInst5 := float64(r5.Completion) / 5
+	if perInst5 <= perInst4 {
+		t.Errorf("per-instance cost did not rise past the knee: %.0f vs %.0f", perInst4, perInst5)
+	}
+}
+
+func TestEchoKneeAtThree(t *testing.T) {
+	get := func(n int) *Result {
+		res, err := Run(Scenario{
+			App:       workload.Echo,
+			Mode:      workload.ModeHWOnly,
+			Instances: n,
+			Quantum:   testScale.Quantum(Quantum10ms),
+			Scale:     testScale,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if r2 := get(2); r2.CIS.Evictions != 0 {
+		t.Errorf("echo n=2 evictions = %d, want 0 (4 circuits fit 4 PFUs)", r2.CIS.Evictions)
+	}
+	if r3 := get(3); r3.CIS.Evictions == 0 {
+		t.Error("echo n=3 (6 circuits) must contend")
+	}
+}
+
+func TestSoftDispatchScenario(t *testing.T) {
+	res, err := Run(Scenario{
+		App:       workload.Alpha,
+		Mode:      workload.ModeHW,
+		Instances: 6,
+		Quantum:   testScale.Quantum(Quantum1ms),
+		Soft:      true,
+		Scale:     testScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CIS.SoftMaps == 0 || res.RFU.SWDispatches == 0 {
+		t.Errorf("soft dispatch unused: %+v", res.CIS)
+	}
+	if res.CIS.Evictions != 0 {
+		t.Errorf("evictions in soft mode: %d", res.CIS.Evictions)
+	}
+}
+
+func TestFigure2SmokeAndClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep")
+	}
+	fig2, err := Figure2(testScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig2.Series) != 12 {
+		t.Fatalf("figure 2 has %d series, want 12", len(fig2.Series))
+	}
+	for _, s := range fig2.Series {
+		if len(s.X) != MaxInstances {
+			t.Fatalf("%s: %d points", s.Label, len(s.X))
+		}
+		// Monotone non-decreasing completion with instance count.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Errorf("%s: completion fell from n=%d to n=%d", s.Label, s.X[i-1], s.X[i])
+			}
+		}
+	}
+	claims := CheckClaims(fig2, nil, nil)
+	for _, c := range claims {
+		t.Logf("[%v] %s: %s (%s)", c.Pass, c.ID, c.Text, c.Detail)
+		if c.ID == "C1" || c.ID == "C3" {
+			if !c.Pass {
+				t.Errorf("claim %s failed: %s", c.ID, c.Detail)
+			}
+		}
+	}
+}
+
+func TestFigure3SmokeAndClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep")
+	}
+	fig3, err := Figure3(testScale, 1, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Series) != 8 {
+		t.Fatalf("figure 3 has %d series, want 8", len(fig3.Series))
+	}
+	claims := CheckClaims(nil, fig3, nil)
+	for _, c := range claims {
+		t.Logf("[%v] %s: %s (%s)", c.Pass, c.ID, c.Text, c.Detail)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	rows, err := SpeedupTable(testScale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%s: %.2fx", r.App, r.Speedup)
+		if r.Speedup < 1.5 {
+			t.Errorf("%s barely accelerated: %.2fx", r.App, r.Speedup)
+		}
+	}
+}
+
+func TestTLBAblation(t *testing.T) {
+	rows, err := TLBAblation(testScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 4 resident tuples, a 2-entry TLB must mapping-fault; a 16-entry
+	// TLB must not (beyond the cold misses).
+	var small, big TLBStats
+	for _, r := range rows {
+		if r.Entries == 2 {
+			small = r
+		}
+		if r.Entries == 16 {
+			big = r
+		}
+	}
+	if small.MappingFaults == 0 {
+		t.Error("2-entry TLB produced no mapping faults")
+	}
+	if big.MappingFaults > big.Loads {
+		t.Errorf("16-entry TLB mapping faults: %d", big.MappingFaults)
+	}
+	if small.Loads != big.Loads {
+		t.Errorf("mapping faults caused reloads: %d vs %d", small.Loads, big.Loads)
+	}
+}
+
+func TestSharingAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	fig, err := SharingAblation(testScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noShare, _ := fig.SeriesByLabel("no sharing (paper's runs)")
+	share, _ := fig.SeriesByLabel("sharing enabled")
+	a, _ := noShare.At(8)
+	b, _ := share.At(8)
+	if b >= a {
+		t.Errorf("sharing did not help at n=8: %d vs %d", b, a)
+	}
+}
+
+func TestConfigSplitAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	fig, err := ConfigSplitAblation(Scale{Factor: 800}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, _ := fig.SeriesByLabel("split (state frames)")
+	full, _ := fig.SeriesByLabel("full readback")
+	s8, _ := split.At(8)
+	f8, _ := full.At(8)
+	if f8 <= s8 {
+		t.Errorf("full readback not slower under thrash: split=%d full=%d", s8, f8)
+	}
+}
+
+func TestCSVAndPlotRendering(t *testing.T) {
+	fig := &Figure{
+		Title:  "test",
+		XLabel: "n",
+		YLabel: "cycles",
+		Series: []Series{
+			{Label: "a, b", X: []int{1, 2, 3}, Y: []uint64{10, 20, 30}},
+			{Label: "c", X: []int{1, 2, 3}, Y: []uint64{5, 15, 60}},
+		},
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "a; b") || !strings.Contains(csv, "\n1,10,5\n") {
+		t.Errorf("csv:\n%s", csv)
+	}
+	plot := fig.ASCII(40, 10)
+	if !strings.Contains(plot, "o") || !strings.Contains(plot, "x") {
+		t.Errorf("plot missing glyphs:\n%s", plot)
+	}
+	table := fig.Table()
+	if !strings.Contains(table, "30") {
+		t.Errorf("table:\n%s", table)
+	}
+}
+
+func TestQuantumSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	fig, err := QuantumSweep(testScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	// Larger quanta (lower index) must not be slower than much smaller
+	// quanta: completion at 100ms <= completion at 0.5ms.
+	first, _ := s.At(0)
+	last, _ := s.At(len(s.X) - 1)
+	if first > last {
+		return
+	}
+	if last < first {
+		t.Errorf("quantum sweep not monotone-ish: %d .. %d", first, last)
+	}
+}
+
+func TestPolicyAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	fig, err := PolicyAblation(Scale{Factor: 800}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != MaxInstances {
+			t.Errorf("%s: %d points", s.Label, len(s.Y))
+		}
+	}
+}
+
+var _ = kernel.PolicyLRU // imported for policy references in docs
+
+func TestPageInAblationShape(t *testing.T) {
+	rows, err := PageInAblation(testScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Without page-in cost, switching beats soft or is close; with a 5ms
+	// page-in, soft must win clearly (the §5.1.3 conjecture).
+	last := rows[len(rows)-1]
+	if last.Soft >= last.Switching {
+		t.Errorf("5ms page-in: soft=%d not better than switching=%d", last.Soft, last.Switching)
+	}
+	// Page-in cost must hurt the switching runs monotonically.
+	if rows[2].Switching <= rows[0].Switching {
+		t.Errorf("switching unaffected by page-in: %d vs %d", rows[2].Switching, rows[0].Switching)
+	}
+	// Soft runs barely fault, so they stay almost flat.
+	drift := float64(rows[2].Soft) / float64(rows[0].Soft)
+	if drift > 1.2 {
+		t.Errorf("soft runs drifted %.2fx with page-in", drift)
+	}
+}
+
+func TestInterruptLatencyAblation(t *testing.T) {
+	rows, err := InterruptLatencyAblation(testScale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("instr=%d atomic=%d interruptible=%d", r.InstrCycles, r.Atomic, r.Interrupt)
+		// Atomic latency grows with instruction length; interruptible
+		// latency must stay bounded well below the long instruction.
+		if r.InstrCycles >= 256 && r.Atomic < uint64(r.InstrCycles)/2 {
+			t.Errorf("atomic latency %d did not grow with %d-cycle instruction", r.Atomic, r.InstrCycles)
+		}
+		if r.InstrCycles >= 256 && r.Interrupt*4 > uint64(r.InstrCycles) {
+			t.Errorf("interruptible latency %d not well below the %d-cycle instruction", r.Interrupt, r.InstrCycles)
+		}
+	}
+	if rows[2].Atomic <= rows[0].Atomic {
+		t.Error("atomic max latency did not grow with instruction length")
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	fig, err := MixedWorkload(Scale{Factor: 800}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	// All policies complete all mixes; at n=8 the workload is heavily
+	// contended (8 processes, 11 circuits wanted, 4 PFUs).
+	for _, s := range fig.Series {
+		if y, ok := s.At(MaxInstances); !ok || y == 0 {
+			t.Errorf("%s: missing n=8", s.Label)
+		}
+	}
+}
+
+// TestAllClaimsPass is the reproduction gate: every one of the paper's
+// headline claims must pass on a full regenerated dataset.
+func TestAllClaimsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full claim sweep")
+	}
+	fig2, err := Figure2(testScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3, err := Figure3(testScale, 1, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := SpeedupTable(testScale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range CheckClaims(fig2, fig3, rows) {
+		if !c.Pass {
+			t.Errorf("claim %s FAILED: %s — %s", c.ID, c.Text, c.Detail)
+		} else {
+			t.Logf("claim %s pass: %s", c.ID, c.Detail)
+		}
+	}
+}

@@ -1,0 +1,558 @@
+package exp
+
+import (
+	"fmt"
+
+	"protean/internal/asm"
+	"protean/internal/kernel"
+	"protean/internal/machine"
+	"protean/internal/workload"
+)
+
+// Series is one line of a figure.
+type Series struct {
+	Label string
+	X     []int
+	Y     []uint64
+}
+
+// Figure is a reproduced plot: completion time in cycles against the
+// number of concurrent process instances.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// MaxInstances is the paper's sweep range (1–8 concurrent instances).
+const MaxInstances = 8
+
+// Figure2 reproduces the basic scheduling test: {echo, alpha, twofish} ×
+// {round robin, random} replacement × {10 ms, 1 ms} quanta, 1–8 instances,
+// completion time in cycles.
+func Figure2(scale Scale, seed int64, w Progress) (*Figure, error) {
+	fig := &Figure{
+		Title:  "Basic Scheduling Test (Figure 2)",
+		XLabel: "No. concurrent process instances",
+		YLabel: "Completion time in clock cycles",
+	}
+	apps := []workload.Kind{workload.Echo, workload.Alpha, workload.Twofish}
+	policies := []kernel.PolicyKind{kernel.PolicyRoundRobin, kernel.PolicyRandom}
+	quanta := []struct {
+		label  string
+		cycles uint32
+	}{
+		{"10ms", Quantum10ms},
+		{"1ms", Quantum1ms},
+	}
+	for _, app := range apps {
+		for _, pol := range policies {
+			polLabel := "Round Robin"
+			if pol == kernel.PolicyRandom {
+				polLabel = "Random"
+			}
+			for _, q := range quanta {
+				s := Series{Label: fmt.Sprintf("%s, %s, %s", titleName(app), polLabel, q.label)}
+				for n := 1; n <= MaxInstances; n++ {
+					res, err := Run(Scenario{
+						App:       app,
+						Mode:      workload.ModeHWOnly,
+						Instances: n,
+						Quantum:   scale.Quantum(q.cycles),
+						Policy:    pol,
+						Seed:      seed,
+						Scale:     scale,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("fig2 %s n=%d: %w", s.Label, n, err)
+					}
+					s.X = append(s.X, n)
+					s.Y = append(s.Y, res.Completion)
+					progressf(w, "fig2 %-28s n=%d  %12d cycles\n", s.Label, n, res.Completion)
+				}
+				fig.Series = append(fig.Series, s)
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Figure3 reproduces the software dispatch test: {echo, alpha} ×
+// {round-robin circuit switching, software dispatch} × {10 ms, 1 ms}.
+// The paper omits twofish ("follows a similar trend"); pass withTwofish to
+// generate it as an extra.
+func Figure3(scale Scale, seed int64, withTwofish bool, w Progress) (*Figure, error) {
+	fig := &Figure{
+		Title:  "Software Dispatch Test (Figure 3)",
+		XLabel: "No. concurrent process instances",
+		YLabel: "Completion time in clock cycles",
+	}
+	apps := []workload.Kind{workload.Echo, workload.Alpha}
+	if withTwofish {
+		apps = append(apps, workload.Twofish)
+	}
+	quanta := []struct {
+		label  string
+		cycles uint32
+	}{
+		{"10ms", Quantum10ms},
+		{"1ms", Quantum1ms},
+	}
+	for _, app := range apps {
+		for _, variant := range []string{"Round Robin", "Soft"} {
+			for _, q := range quanta {
+				s := Series{Label: fmt.Sprintf("%s, %s, %s", titleName(app), variant, q.label)}
+				for n := 1; n <= MaxInstances; n++ {
+					sc := Scenario{
+						App:       app,
+						Instances: n,
+						Quantum:   scale.Quantum(q.cycles),
+						Policy:    kernel.PolicyRoundRobin,
+						Seed:      seed,
+						Scale:     scale,
+					}
+					if variant == "Soft" {
+						sc.Mode = workload.ModeHW
+						sc.Soft = true
+					} else {
+						sc.Mode = workload.ModeHWOnly
+					}
+					res, err := Run(sc)
+					if err != nil {
+						return nil, fmt.Errorf("fig3 %s n=%d: %w", s.Label, n, err)
+					}
+					s.X = append(s.X, n)
+					s.Y = append(s.Y, res.Completion)
+					progressf(w, "fig3 %-28s n=%d  %12d cycles\n", s.Label, n, res.Completion)
+				}
+				fig.Series = append(fig.Series, s)
+			}
+		}
+	}
+	return fig, nil
+}
+
+// PolicyAblation (A1) compares all four replacement policies — the paper's
+// round robin and random plus the LRU and second chance that §4.5's usage
+// counters enable — on the alpha workload at the 1 ms quantum.
+func PolicyAblation(scale Scale, seed int64, w Progress) (*Figure, error) {
+	fig := &Figure{
+		Title:  "A1: replacement policies (alpha, 1ms quantum)",
+		XLabel: "No. concurrent process instances",
+		YLabel: "Completion time in clock cycles",
+	}
+	for _, pol := range []kernel.PolicyKind{
+		kernel.PolicyRoundRobin, kernel.PolicyRandom, kernel.PolicyLRU, kernel.PolicySecondChance,
+	} {
+		s := Series{Label: pol.String()}
+		for n := 1; n <= MaxInstances; n++ {
+			res, err := Run(Scenario{
+				App:       workload.Alpha,
+				Mode:      workload.ModeHWOnly,
+				Instances: n,
+				Quantum:   scale.Quantum(Quantum1ms),
+				Policy:    pol,
+				Seed:      seed,
+				Scale:     scale,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("A1 %s n=%d: %w", pol, n, err)
+			}
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, res.Completion)
+			progressf(w, "A1 %-14s n=%d  %12d cycles\n", pol, n, res.Completion)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ConfigSplitAblation (A2) measures what the §4.1 split configuration buys
+// by comparing normal swaps (state frames only) against full-image
+// readback, on the thrash-prone echo workload at 1 ms.
+func ConfigSplitAblation(scale Scale, seed int64, w Progress) (*Figure, error) {
+	fig := &Figure{
+		Title:  "A2: split vs full-readback configuration (echo, 10ms quantum)",
+		XLabel: "No. concurrent process instances",
+		YLabel: "Completion time in clock cycles",
+	}
+	for _, full := range []bool{false, true} {
+		label := "split (state frames)"
+		if full {
+			label = "full readback"
+		}
+		s := Series{Label: label}
+		for n := 1; n <= MaxInstances; n++ {
+			res, err := Run(Scenario{
+				App:          workload.Echo,
+				Mode:         workload.ModeHWOnly,
+				Instances:    n,
+				Quantum:      scale.Quantum(Quantum10ms),
+				Policy:       kernel.PolicyRoundRobin,
+				Seed:         seed,
+				Scale:        scale,
+				FullReadback: full,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("A2 %s n=%d: %w", label, n, err)
+			}
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, res.Completion)
+			progressf(w, "A2 %-22s n=%d  %12d cycles\n", label, n, res.Completion)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// TLBStats is one row of the A3 TLB-pressure ablation.
+type TLBStats struct {
+	Entries       int
+	MappingFaults uint64
+	Loads         uint64
+	Completion    uint64
+}
+
+// TLBAblation (A3) runs eight alpha instances against shrinking dispatch
+// TLBs: with fewer CAM entries than live tuples, resident circuits fault
+// purely on lost mappings, which the CIS must repair without reloading
+// hardware (§4.2).
+func TLBAblation(scale Scale, seed int64, w Progress) ([]TLBStats, error) {
+	var out []TLBStats
+	for _, entries := range []int{2, 3, 4, 8, 16} {
+		res, err := Run(Scenario{
+			App:         workload.Alpha,
+			Mode:        workload.ModeHWOnly,
+			Instances:   4, // exactly fills the PFUs: every fault beyond load is a mapping fault
+			Quantum:     scale.Quantum(Quantum10ms),
+			Policy:      kernel.PolicyRoundRobin,
+			Seed:        seed,
+			Scale:       scale,
+			TLB1Entries: entries,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("A3 entries=%d: %w", entries, err)
+		}
+		out = append(out, TLBStats{
+			Entries:       entries,
+			MappingFaults: res.CIS.MappingFaults,
+			Loads:         res.CIS.Loads,
+			Completion:    res.Completion,
+		})
+		progressf(w, "A3 tlb=%2d  mapping-faults=%6d loads=%4d completion=%d\n",
+			entries, res.CIS.MappingFaults, res.CIS.Loads, res.Completion)
+	}
+	return out, nil
+}
+
+// QuantumSweep (A4) sweeps the scheduling quantum for six contending alpha
+// instances, covering the paper's 10 ms and 1 ms plus the 100 ms
+// Windows NT / BSD batch quantum of the §5.1.3 discussion.
+func QuantumSweep(scale Scale, seed int64, w Progress) (*Figure, error) {
+	fig := &Figure{
+		Title:  "A4: quantum sweep (alpha, 6 instances, round robin)",
+		XLabel: "Quantum index (100ms, 10ms, 5ms, 2ms, 1ms)",
+		YLabel: "Completion time in clock cycles",
+	}
+	quanta := []struct {
+		label  string
+		cycles uint32
+	}{
+		{"100ms", Quantum100ms},
+		{"10ms", Quantum10ms},
+		{"5ms", 500_000},
+		{"2ms", 200_000},
+		{"1ms", Quantum1ms},
+	}
+	s := Series{Label: "alpha, 6 instances"}
+	for i, q := range quanta {
+		res, err := Run(Scenario{
+			App:       workload.Alpha,
+			Mode:      workload.ModeHWOnly,
+			Instances: 6,
+			Quantum:   scale.Quantum(q.cycles),
+			Policy:    kernel.PolicyRoundRobin,
+			Seed:      seed,
+			Scale:     scale,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("A4 %s: %w", q.label, err)
+		}
+		s.X = append(s.X, i)
+		s.Y = append(s.Y, res.Completion)
+		progressf(w, "A4 q=%-6s  %12d cycles\n", q.label, res.Completion)
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// SharingAblation (A5) enables circuit-instance sharing — the behaviour
+// §5.1 says the final system would have — for identical alpha instances:
+// one configuration load serves every process, removing contention
+// entirely.
+func SharingAblation(scale Scale, seed int64, w Progress) (*Figure, error) {
+	fig := &Figure{
+		Title:  "A5: instance sharing (alpha, 1ms quantum)",
+		XLabel: "No. concurrent process instances",
+		YLabel: "Completion time in clock cycles",
+	}
+	for _, sharing := range []bool{false, true} {
+		label := "no sharing (paper's runs)"
+		if sharing {
+			label = "sharing enabled"
+		}
+		s := Series{Label: label}
+		for n := 1; n <= MaxInstances; n++ {
+			res, err := Run(Scenario{
+				App:       workload.Alpha,
+				Mode:      workload.ModeHWOnly,
+				Instances: n,
+				Quantum:   scale.Quantum(Quantum1ms),
+				Policy:    kernel.PolicyRoundRobin,
+				Seed:      seed,
+				Scale:     scale,
+				Sharing:   sharing,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("A5 %s n=%d: %w", label, n, err)
+			}
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, res.Completion)
+			progressf(w, "A5 %-26s n=%d  %12d cycles\n", label, n, res.Completion)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// SpeedupRow is one row of the C5 acceleration table.
+type SpeedupRow struct {
+	App      workload.Kind
+	HW       uint64
+	Baseline uint64
+	Speedup  float64
+}
+
+// SpeedupTable (C5) measures each application's acceleration over its
+// unaccelerated build, single instance, no contention.
+func SpeedupTable(scale Scale, w Progress) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, app := range workload.Kinds {
+		var cyc [2]uint64
+		for i, mode := range []workload.Mode{workload.ModeHW, workload.ModeBaseline} {
+			res, err := Run(Scenario{
+				App:       app,
+				Mode:      mode,
+				Instances: 1,
+				Quantum:   scale.Quantum(Quantum10ms),
+				Scale:     scale,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("C5 %s %s: %w", app, mode, err)
+			}
+			cyc[i] = res.Completion
+		}
+		row := SpeedupRow{App: app, HW: cyc[0], Baseline: cyc[1],
+			Speedup: float64(cyc[1]) / float64(cyc[0])}
+		rows = append(rows, row)
+		progressf(w, "C5 %-8s hw=%d baseline=%d speedup=%.2fx\n", app, row.HW, row.Baseline, row.Speedup)
+	}
+	return rows, nil
+}
+
+func titleName(k workload.Kind) string {
+	switch k {
+	case workload.Alpha:
+		return "Alpha"
+	case workload.Echo:
+		return "Echo"
+	case workload.Twofish:
+		return "Twofish"
+	}
+	return k.String()
+}
+
+// PageInRow is one row of the A6 page-in ablation.
+type PageInRow struct {
+	PageInCycles uint32 // paper-scale cycles per bitstream page-in
+	Switching    uint64 // completion with circuit switching
+	Soft         uint64 // completion with software dispatch
+}
+
+// PageInAblation (A6) quantifies the §5.1.3 discussion: under virtual
+// memory pressure a configuration load must first page the bitstream in
+// from disk, and "software dispatch may yet prove an interesting option".
+// Six alpha instances at the 10 ms quantum — the regime where plain
+// circuit switching beat software dispatch in Figure 3 — sweeping the
+// page-in cost from zero (the paper's runs) to a 5 ms disk access.
+func PageInAblation(scale Scale, seed int64, w Progress) ([]PageInRow, error) {
+	var out []PageInRow
+	for _, pageIn := range []uint32{0, 100_000, 500_000} {
+		row := PageInRow{PageInCycles: pageIn}
+		for _, soft := range []bool{false, true} {
+			sc := Scenario{
+				App:          workload.Alpha,
+				Instances:    6,
+				Quantum:      scale.Quantum(Quantum10ms),
+				Policy:       kernel.PolicyRoundRobin,
+				Seed:         seed,
+				Scale:        scale,
+				PageInCycles: pageIn,
+			}
+			if soft {
+				sc.Mode = workload.ModeHW
+				sc.Soft = true
+			} else {
+				sc.Mode = workload.ModeHWOnly
+			}
+			res, err := Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("A6 pagein=%d soft=%v: %w", pageIn, soft, err)
+			}
+			if soft {
+				row.Soft = res.Completion
+			} else {
+				row.Switching = res.Completion
+			}
+		}
+		progressf(w, "A6 pagein=%-7d switching=%-12d soft=%d\n", pageIn, row.Switching, row.Soft)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// LatencyRow is one row of the A7 interrupt-latency ablation.
+type LatencyRow struct {
+	InstrCycles uint32 // custom-instruction latency
+	Atomic      uint64 // max IRQ latency with uninterruptible instructions
+	Interrupt   uint64 // max IRQ latency with §4.4 interruptible instructions
+}
+
+// InterruptLatencyAblation (A7) measures the design point §4.4 argues:
+// long custom instructions must either be bounded or interruptible, or
+// interrupt latency grows with the longest instruction. A synthetic
+// application issues instructions of increasing latency; the maximum
+// timer-IRQ service latency is recorded with and without the
+// interruptible-instruction mechanism.
+func InterruptLatencyAblation(scale Scale, w Progress) ([]LatencyRow, error) {
+	var out []LatencyRow
+	for _, lat := range []uint32{16, 256, 4096} {
+		row := LatencyRow{InstrCycles: lat}
+		for _, atomic := range []bool{true, false} {
+			// Enough items that many quanta elapse mid-instruction.
+			items := 400_000 / int(lat)
+			app, err := workload.BuildLongOp(lat, items)
+			if err != nil {
+				return nil, err
+			}
+			m := machine.New(machine.Config{ConfigBytesPerCycle: scale.ConfigBytesPerCycle()})
+			k := kernel.New(m, kernel.Config{
+				Quantum:   scale.Quantum(Quantum1ms),
+				Costs:     scale.Costs(),
+				AtomicCDP: atomic,
+			})
+			prog, err := asm.Assemble(app.Source, k.NextBase())
+			if err != nil {
+				return nil, err
+			}
+			p, err := k.Spawn(app.Name, prog, app.Images)
+			if err != nil {
+				return nil, err
+			}
+			if err := k.Start(); err != nil {
+				return nil, err
+			}
+			if err := k.Run(1 << 34); err != nil {
+				return nil, fmt.Errorf("A7 lat=%d atomic=%v: %w", lat, atomic, err)
+			}
+			if p.ExitCode != app.Expected {
+				return nil, fmt.Errorf("A7 lat=%d atomic=%v: checksum mismatch", lat, atomic)
+			}
+			if atomic {
+				row.Atomic = k.Stats.MaxIRQLatency
+			} else {
+				row.Interrupt = k.Stats.MaxIRQLatency
+			}
+		}
+		progressf(w, "A7 instr=%-5d atomic-max-latency=%-8d interruptible-max-latency=%d\n",
+			lat, row.Atomic, row.Interrupt)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MixedWorkload (A8) addresses the paper's stated future work: "to test
+// the performance of the system with more dynamic scheduling loads" (§6).
+// Instead of n copies of one application, instances rotate through
+// {alpha, twofish, echo}, giving heterogeneous circuit counts, latencies
+// and reuse patterns. On such skewed loads the usage-counter policies of
+// §4.5 finally get signal to work with.
+func MixedWorkload(scale Scale, seed int64, w Progress) (*Figure, error) {
+	fig := &Figure{
+		Title:  "A8: mixed workload (alpha+twofish+echo rotation, 1ms quantum)",
+		XLabel: "No. concurrent process instances",
+		YLabel: "Completion time in clock cycles",
+	}
+	rotation := []workload.Kind{workload.Alpha, workload.Twofish, workload.Echo}
+	for _, pol := range []kernel.PolicyKind{
+		kernel.PolicyRoundRobin, kernel.PolicyRandom, kernel.PolicyLRU, kernel.PolicySecondChance,
+	} {
+		s := Series{Label: pol.String()}
+		for n := 1; n <= MaxInstances; n++ {
+			res, err := runMix(rotation, n, scale, pol, seed)
+			if err != nil {
+				return nil, fmt.Errorf("A8 %s n=%d: %w", pol, n, err)
+			}
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, res)
+			progressf(w, "A8 %-14s n=%d  %12d cycles\n", pol, n, res)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// runMix runs n instances rotating through the given kinds and returns the
+// last completion cycle, verifying every checksum.
+func runMix(kinds []workload.Kind, n int, scale Scale, pol kernel.PolicyKind, seed int64) (uint64, error) {
+	m := machine.New(machine.Config{ConfigBytesPerCycle: scale.ConfigBytesPerCycle()})
+	k := kernel.New(m, kernel.Config{
+		Quantum: scale.Quantum(Quantum1ms),
+		Policy:  pol,
+		Costs:   scale.Costs(),
+		Seed:    seed,
+	})
+	expected := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		kind := kinds[i%len(kinds)]
+		app, err := workload.Build(kind, scale.Items(kind), workload.ModeHWOnly)
+		if err != nil {
+			return 0, err
+		}
+		prog, err := asm.Assemble(app.Source, k.NextBase())
+		if err != nil {
+			return 0, err
+		}
+		if _, err := k.Spawn(fmt.Sprintf("%s#%d", app.Name, i), prog, app.Images); err != nil {
+			return 0, err
+		}
+		expected = append(expected, app.Expected)
+	}
+	if err := k.Start(); err != nil {
+		return 0, err
+	}
+	if err := k.Run(1 << 40); err != nil {
+		return 0, err
+	}
+	var last uint64
+	for i, p := range k.Processes() {
+		if p.State != kernel.ProcExited || p.ExitCode != expected[i] {
+			return 0, fmt.Errorf("%s failed (state %v)", p.Name, p.State)
+		}
+		if p.Stats.CompletionCycle > last {
+			last = p.Stats.CompletionCycle
+		}
+	}
+	return last, nil
+}

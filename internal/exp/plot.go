@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CSV renders a figure as comma-separated values, one row per x with a
+// column per series.
+func (f *Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("x")
+	for _, s := range f.Series {
+		sb.WriteString(",")
+		sb.WriteString(strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	sb.WriteByte('\n')
+	// Collect the x domain.
+	xs := map[int]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var domain []int
+	for x := range xs {
+		domain = append(domain, x)
+	}
+	sort.Ints(domain)
+	for _, x := range domain {
+		fmt.Fprintf(&sb, "%d", x)
+		for _, s := range f.Series {
+			val := ""
+			for i, sx := range s.X {
+				if sx == x {
+					val = fmt.Sprint(s.Y[i])
+					break
+				}
+			}
+			sb.WriteString(",")
+			sb.WriteString(val)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// plotGlyphs label series points in the ASCII plot.
+const plotGlyphs = "ox+*#@%&=~^!abcdefgh"
+
+// ASCII renders the figure as a terminal plot of the given size.
+func (f *Figure) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	var maxY uint64
+	minX, maxX := 1<<30, -(1 << 30)
+	for _, s := range f.Series {
+		for i := range s.X {
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+		}
+	}
+	if maxY == 0 || maxX < minX {
+		return f.Title + "\n(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			var col int
+			if maxX == minX {
+				col = 0
+			} else {
+				col = (s.X[i] - minX) * (width - 1) / (maxX - minX)
+			}
+			row := height - 1 - int(s.Y[i]*uint64(height-1)/maxY)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", f.Title)
+	fmt.Fprintf(&sb, "y: %s (max %.3g)\n", f.YLabel, float64(maxY))
+	for _, row := range grid {
+		sb.WriteString("  |")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "   x: %s (%d..%d)\n", f.XLabel, minX, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(&sb, "   %c %s\n", plotGlyphs[si%len(plotGlyphs)], s.Label)
+	}
+	return sb.String()
+}
+
+// Table renders the figure values as an aligned text table.
+func (f *Figure) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", f.Title)
+	label := 0
+	for _, s := range f.Series {
+		if len(s.Label) > label {
+			label = len(s.Label)
+		}
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "  %-*s", label, s.Label)
+		for i := range s.X {
+			fmt.Fprintf(&sb, " %12d", s.Y[i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SeriesByLabel finds a series by its label.
+func (f *Figure) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// At returns the series value at x.
+func (s Series) At(x int) (uint64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}

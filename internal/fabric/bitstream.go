@@ -1,0 +1,209 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Bitstream layout. The configuration of a PFU is split into two frame
+// groups per §4.1 of the paper:
+//
+//   - static frames: LUT truth tables, routing selects, switchbox words,
+//     flip-flop usage/init flags — everything that defines the circuit;
+//   - state frames: the current contents of the CLB registers only.
+//
+// The split is what makes management cheap: to swap a circuit out, the OS
+// reads back only the state frames (63 bytes for a 500-CLB PFU) rather than
+// the full 54 KB image, and restores the circuit later with the cached
+// static image plus the tiny state frame group.
+const (
+	bitstreamMagic = "PFB1"
+	headerBytes    = 20
+	// CLBConfigBytes is the static frame size per CLB: truth table (2),
+	// four input selects (8), flags (2), and 24 switchbox words (96).
+	CLBConfigBytes = 108
+	outSelBytes    = 33 * 2
+)
+
+// Bitstream section flags.
+const (
+	SectionStatic = 1 << 0
+	SectionState  = 1 << 1
+)
+
+// StaticBytes reports the size of a full static image for a spec,
+// including the header. For the default 500-CLB PFU this is 54,086 bytes —
+// the "54 Kbytes of data per configuration" of §4.1.
+func StaticBytes(spec ArraySpec) int {
+	return headerBytes + outSelBytes + spec.CLBs()*CLBConfigBytes
+}
+
+// StateBytes reports the size of the state frame group (excluding header):
+// one bit per CLB register.
+func StateBytes(spec ArraySpec) int {
+	return (spec.CLBs() + 7) / 8
+}
+
+// StateImageBytes reports the size of a state-only image including header.
+func StateImageBytes(spec ArraySpec) int {
+	return headerBytes + StateBytes(spec)
+}
+
+// EncodeStatic serialises a static-only configuration image.
+func EncodeStatic(cfg *ArrayConfig) ([]byte, error) {
+	return encode(cfg, nil)
+}
+
+// EncodeFull serialises static frames plus a state frame group.
+func EncodeFull(cfg *ArrayConfig, state []bool) ([]byte, error) {
+	if state == nil {
+		state = make([]bool, cfg.Spec.CLBs())
+	}
+	return encode(cfg, state)
+}
+
+// EncodeState serialises a state-only image for the given geometry.
+func EncodeState(spec ArraySpec, state []bool) ([]byte, error) {
+	if len(state) != spec.CLBs() {
+		return nil, fmt.Errorf("fabric: state has %d bits, spec wants %d", len(state), spec.CLBs())
+	}
+	cfg := ArrayConfig{Spec: spec}
+	return encode(&cfg, state)
+}
+
+func encode(cfg *ArrayConfig, state []bool) ([]byte, error) {
+	static := cfg.CLBs != nil
+	if static {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	var flags byte
+	staticLen, stateLen := 0, 0
+	if static {
+		flags |= SectionStatic
+		staticLen = outSelBytes + cfg.Spec.CLBs()*CLBConfigBytes
+	}
+	if state != nil {
+		if len(state) != cfg.Spec.CLBs() {
+			return nil, fmt.Errorf("fabric: state has %d bits, spec wants %d", len(state), cfg.Spec.CLBs())
+		}
+		flags |= SectionState
+		stateLen = StateBytes(cfg.Spec)
+	}
+	out := make([]byte, headerBytes+staticLen+stateLen)
+	copy(out, bitstreamMagic)
+	out[4] = 1 // version
+	out[5] = flags
+	binary.LittleEndian.PutUint16(out[6:], uint16(cfg.Spec.W))
+	binary.LittleEndian.PutUint16(out[8:], uint16(cfg.Spec.H))
+	binary.LittleEndian.PutUint32(out[10:], uint32(staticLen))
+	binary.LittleEndian.PutUint32(out[14:], uint32(stateLen))
+	p := out[headerBytes:]
+	if static {
+		for i, sel := range cfg.OutSel {
+			binary.LittleEndian.PutUint16(p[i*2:], sel)
+		}
+		p = p[outSelBytes:]
+		for i := range cfg.CLBs {
+			c := &cfg.CLBs[i]
+			binary.LittleEndian.PutUint16(p[0:], c.Table)
+			for j, sel := range c.InSel {
+				binary.LittleEndian.PutUint16(p[2+j*2:], sel)
+			}
+			binary.LittleEndian.PutUint16(p[10:], c.Flags)
+			for j, w := range c.Switch {
+				binary.LittleEndian.PutUint32(p[12+j*4:], w)
+			}
+			p = p[CLBConfigBytes:]
+		}
+	}
+	if state != nil {
+		for i, v := range state {
+			if v {
+				p[i/8] |= 1 << (i % 8)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Image is a decoded bitstream: a static configuration, a state frame
+// group, or both.
+type Image struct {
+	Spec   ArraySpec
+	Config *ArrayConfig // nil if no static section
+	State  []bool       // nil if no state section
+}
+
+// Decode parses a bitstream produced by the Encode functions.
+func Decode(data []byte) (*Image, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("fabric: bitstream too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != bitstreamMagic {
+		return nil, fmt.Errorf("fabric: bad bitstream magic %q", data[:4])
+	}
+	if data[4] != 1 {
+		return nil, fmt.Errorf("fabric: unsupported bitstream version %d", data[4])
+	}
+	flags := data[5]
+	spec := ArraySpec{
+		W: int(binary.LittleEndian.Uint16(data[6:])),
+		H: int(binary.LittleEndian.Uint16(data[8:])),
+	}
+	if spec.W <= 0 || spec.H <= 0 || spec.CLBs() > 1<<20 {
+		return nil, fmt.Errorf("fabric: implausible geometry %dx%d", spec.W, spec.H)
+	}
+	staticLen := int(binary.LittleEndian.Uint32(data[10:]))
+	stateLen := int(binary.LittleEndian.Uint32(data[14:]))
+	if headerBytes+staticLen+stateLen != len(data) {
+		return nil, fmt.Errorf("fabric: bitstream length %d does not match sections %d+%d",
+			len(data), staticLen, stateLen)
+	}
+	img := &Image{Spec: spec}
+	p := data[headerBytes:]
+	if flags&SectionStatic != 0 {
+		want := outSelBytes + spec.CLBs()*CLBConfigBytes
+		if staticLen != want {
+			return nil, fmt.Errorf("fabric: static section %d bytes, want %d", staticLen, want)
+		}
+		cfg := NewArrayConfig(spec)
+		for i := range cfg.OutSel {
+			cfg.OutSel[i] = binary.LittleEndian.Uint16(p[i*2:])
+		}
+		q := p[outSelBytes:]
+		for i := range cfg.CLBs {
+			c := &cfg.CLBs[i]
+			c.Table = binary.LittleEndian.Uint16(q[0:])
+			for j := range c.InSel {
+				c.InSel[j] = binary.LittleEndian.Uint16(q[2+j*2:])
+			}
+			c.Flags = binary.LittleEndian.Uint16(q[10:])
+			for j := range c.Switch {
+				c.Switch[j] = binary.LittleEndian.Uint32(q[12+j*4:])
+			}
+			q = q[CLBConfigBytes:]
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		img.Config = cfg
+		p = p[staticLen:]
+	} else if staticLen != 0 {
+		return nil, fmt.Errorf("fabric: static length %d without static flag", staticLen)
+	}
+	if flags&SectionState != 0 {
+		if stateLen != StateBytes(spec) {
+			return nil, fmt.Errorf("fabric: state section %d bytes, want %d", stateLen, StateBytes(spec))
+		}
+		st := make([]bool, spec.CLBs())
+		for i := range st {
+			st[i] = p[i/8]>>(i%8)&1 != 0
+		}
+		img.State = st
+	} else if stateLen != 0 {
+		return nil, fmt.Errorf("fabric: state length %d without state flag", stateLen)
+	}
+	return img, nil
+}

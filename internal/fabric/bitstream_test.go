@@ -1,0 +1,183 @@
+package fabric
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBitstreamSizes(t *testing.T) {
+	// The paper (§4.1): "each custom instruction requires 54 Kbytes of data
+	// to be transferred for a configuration". Our 500-CLB static image is
+	// 54,086 bytes; the state-only image is 83 bytes — the two-orders-of-
+	// magnitude split that motivates the design.
+	if got := StaticBytes(DefaultPFUSpec); got != 54086 {
+		t.Errorf("StaticBytes = %d, want 54086", got)
+	}
+	if got := StateBytes(DefaultPFUSpec); got != 63 {
+		t.Errorf("StateBytes = %d, want 63", got)
+	}
+	if got := StateImageBytes(DefaultPFUSpec); got != 83 {
+		t.Errorf("StateImageBytes = %d, want 83", got)
+	}
+}
+
+func TestBitstreamStaticRoundTrip(t *testing.T) {
+	n := SeqMul16()
+	Optimize(n)
+	cfg, _, err := Place(n, DefaultPFUSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != StaticBytes(DefaultPFUSpec) {
+		t.Errorf("encoded %d bytes, want %d", len(data), StaticBytes(DefaultPFUSpec))
+	}
+	img, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Config == nil || img.State != nil {
+		t.Fatal("static image must decode to config only")
+	}
+	data2, err := EncodeStatic(img.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoding a decoded image must be byte identical")
+	}
+	// The decoded configuration must behave identically.
+	p1, err := NewPFU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPFU(img.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, c1 := pfuRun(t, p1, 123, 456, 32)
+	out2, c2 := pfuRun(t, p2, 123, 456, 32)
+	if out1 != out2 || c1 != c2 {
+		t.Fatalf("decoded config behaves differently: (%d,%d) vs (%d,%d)", out1, c1, out2, c2)
+	}
+}
+
+func TestBitstreamStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := DefaultPFUSpec
+	state := make([]bool, spec.CLBs())
+	for i := range state {
+		state[i] = rng.Intn(2) == 1
+	}
+	data, err := EncodeState(spec, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != StateImageBytes(spec) {
+		t.Errorf("state image %d bytes, want %d", len(data), StateImageBytes(spec))
+	}
+	img, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Config != nil {
+		t.Fatal("state-only image must have no config")
+	}
+	for i := range state {
+		if img.State[i] != state[i] {
+			t.Fatalf("state bit %d corrupted", i)
+		}
+	}
+}
+
+func TestBitstreamFullRoundTrip(t *testing.T) {
+	n := Xor32()
+	Optimize(n)
+	cfg, _, err := Place(n, ArraySpec{W: 8, H: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]bool, 64)
+	state[5] = true
+	state[63] = true
+	data, err := EncodeFull(cfg, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Config == nil || img.State == nil {
+		t.Fatal("full image must decode both sections")
+	}
+	if !img.State[5] || !img.State[63] || img.State[0] {
+		t.Fatal("state bits corrupted in full image")
+	}
+}
+
+func TestBitstreamRejectsCorruption(t *testing.T) {
+	n := Xor32()
+	cfg, _, err := Place(n, ArraySpec{W: 8, H: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := EncodeStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte){
+		"magic":     func(d []byte) { d[0] = 'X' },
+		"version":   func(d []byte) { d[4] = 9 },
+		"truncated": nil,
+		"geometry":  func(d []byte) { d[6], d[7] = 0xFF, 0xFF },
+	}
+	for name, corrupt := range cases {
+		d := append([]byte(nil), good...)
+		if corrupt == nil {
+			d = d[:len(d)-1]
+		} else {
+			corrupt(d)
+		}
+		if _, err := Decode(d); err == nil {
+			t.Errorf("%s corruption not detected", name)
+		}
+	}
+}
+
+func TestBitstreamRejectsWireEscape(t *testing.T) {
+	// A bitstream whose routing selects point outside the wire enumeration
+	// must be rejected — the mux-routing safety property.
+	n := Xor32()
+	cfg, _, err := Place(n, ArraySpec{W: 8, H: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First CLB InSel[0] lives at header+outsel+2.
+	off := headerBytes + outSelBytes + 2
+	data[off] = 0xFF
+	data[off+1] = 0xFF
+	if _, err := Decode(data); err == nil {
+		t.Fatal("wire escape not detected")
+	}
+}
+
+func TestStateBytesRounding(t *testing.T) {
+	if got := StateBytes(ArraySpec{W: 1, H: 1}); got != 1 {
+		t.Errorf("1 CLB needs 1 byte, got %d", got)
+	}
+	if got := StateBytes(ArraySpec{W: 4, H: 2}); got != 1 {
+		t.Errorf("8 CLBs need 1 byte, got %d", got)
+	}
+	if got := StateBytes(ArraySpec{W: 3, H: 3}); got != 2 {
+		t.Errorf("9 CLBs need 2 bytes, got %d", got)
+	}
+}

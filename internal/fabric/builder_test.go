@@ -1,0 +1,241 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// evalGate builds a tiny circuit around a 1- to 3-input gate and evaluates
+// it for one input combination.
+func evalGate(t *testing.T, arity int, mk func(b *Builder, in []Net) Net, bits uint64) bool {
+	t.Helper()
+	b := NewBuilder("gate")
+	in := b.Input("in", arity)
+	out := mk(b, in)
+	b.Output("out", []Net{out})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("in", bits)
+	s.Eval()
+	v, err := s.Output("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v != 0
+}
+
+func TestGateTruthTables(t *testing.T) {
+	gates := []struct {
+		name  string
+		arity int
+		mk    func(b *Builder, in []Net) Net
+		ref   func(bits uint64) bool
+	}{
+		{"not", 1, func(b *Builder, in []Net) Net { return b.Not(in[0]) },
+			func(x uint64) bool { return x&1 == 0 }},
+		{"buf", 1, func(b *Builder, in []Net) Net { return b.Buf(in[0]) },
+			func(x uint64) bool { return x&1 == 1 }},
+		{"and", 2, func(b *Builder, in []Net) Net { return b.And(in[0], in[1]) },
+			func(x uint64) bool { return x&3 == 3 }},
+		{"or", 2, func(b *Builder, in []Net) Net { return b.Or(in[0], in[1]) },
+			func(x uint64) bool { return x&3 != 0 }},
+		{"xor", 2, func(b *Builder, in []Net) Net { return b.Xor(in[0], in[1]) },
+			func(x uint64) bool { return x&1 != x>>1&1 }},
+		{"xnor", 2, func(b *Builder, in []Net) Net { return b.Xnor(in[0], in[1]) },
+			func(x uint64) bool { return x&1 == x>>1&1 }},
+		{"nand", 2, func(b *Builder, in []Net) Net { return b.Nand(in[0], in[1]) },
+			func(x uint64) bool { return x&3 != 3 }},
+		{"nor", 2, func(b *Builder, in []Net) Net { return b.Nor(in[0], in[1]) },
+			func(x uint64) bool { return x&3 == 0 }},
+		{"andnot", 2, func(b *Builder, in []Net) Net { return b.AndNot(in[0], in[1]) },
+			func(x uint64) bool { return x&1 == 1 && x>>1&1 == 0 }},
+		{"mux", 3, func(b *Builder, in []Net) Net { return b.Mux(in[0], in[1], in[2]) },
+			func(x uint64) bool {
+				s, d0, d1 := x&1, x>>1&1, x>>2&1
+				if s == 1 {
+					return d1 == 1
+				}
+				return d0 == 1
+			}},
+		{"maj", 3, func(b *Builder, in []Net) Net { return b.Maj(in[0], in[1], in[2]) },
+			func(x uint64) bool { return RefPopcount32(uint32(x&7)) >= 2 }},
+		{"xor3", 3, func(b *Builder, in []Net) Net { return b.Xor3(in[0], in[1], in[2]) },
+			func(x uint64) bool { return RefPopcount32(uint32(x&7))%2 == 1 }},
+	}
+	for _, g := range gates {
+		for bits := uint64(0); bits < 1<<g.arity; bits++ {
+			got := evalGate(t, g.arity, g.mk, bits)
+			if got != g.ref(bits) {
+				t.Errorf("%s(%0*b) = %v, want %v", g.name, g.arity, bits, got, g.ref(bits))
+			}
+		}
+	}
+}
+
+func TestBuilderConstCaching(t *testing.T) {
+	b := NewBuilder("const")
+	c1 := b.Const(true)
+	c2 := b.Const(true)
+	c3 := b.Const(false)
+	if c1 != c2 {
+		t.Error("constant true not cached")
+	}
+	if c1 == c3 {
+		t.Error("true and false share a net")
+	}
+}
+
+func TestBuilderRejectsDoubleBuild(t *testing.T) {
+	b := NewBuilder("x")
+	a := b.Input("a", 1)
+	b.Output("out", a)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build must fail")
+	}
+}
+
+func TestBuilderRejectsWideLUT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("5-input LUT must panic")
+		}
+	}()
+	b := NewBuilder("wide")
+	in := b.Input("in", 5)
+	b.Lut(0, in[0], in[1], in[2], in[3], in[4])
+}
+
+// word32 builds a 2-input word circuit and returns an evaluator.
+func word32(t *testing.T, mk func(b *Builder, x, y []Net) []Net) func(a, c uint32) uint32 {
+	t.Helper()
+	b := NewBuilder("word")
+	x := b.Input("x", 32)
+	y := b.Input("y", 32)
+	b.Output("out", mk(b, x, y))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(a, c uint32) uint32 {
+		s.SetInput("x", uint64(a))
+		s.SetInput("y", uint64(c))
+		s.Eval()
+		v, _ := s.Output("out")
+		return uint32(v)
+	}
+}
+
+func TestWordOps(t *testing.T) {
+	addF := word32(t, func(b *Builder, x, y []Net) []Net {
+		s, _ := b.Add(x, y, b.Const(false))
+		return s
+	})
+	subF := word32(t, func(b *Builder, x, y []Net) []Net {
+		d, _ := b.Sub(x, y)
+		return d
+	})
+	xorF := word32(t, func(b *Builder, x, y []Net) []Net { return b.XorW(x, y) })
+	andF := word32(t, func(b *Builder, x, y []Net) []Net { return b.AndW(x, y) })
+	orF := word32(t, func(b *Builder, x, y []Net) []Net { return b.OrW(x, y) })
+	notF := word32(t, func(b *Builder, x, y []Net) []Net { return b.NotW(x) })
+
+	f := func(a, c uint32) bool {
+		return addF(a, c) == a+c &&
+			subF(a, c) == a-c &&
+			xorF(a, c) == a^c &&
+			andF(a, c) == a&c &&
+			orF(a, c) == a|c &&
+			notF(a, c) == ^a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordShiftAndReduce(t *testing.T) {
+	shlF := word32(t, func(b *Builder, x, y []Net) []Net { return b.ShiftLeftConst(x, 5) })
+	shrF := word32(t, func(b *Builder, x, y []Net) []Net { return b.ShiftRightConst(x, 9) })
+	zeroF := word32(t, func(b *Builder, x, y []Net) []Net {
+		return b.Extend([]Net{b.IsZero(x)}, 32)
+	})
+	eqF := word32(t, func(b *Builder, x, y []Net) []Net {
+		return b.Extend([]Net{b.Equal(x, y)}, 32)
+	})
+	parityF := word32(t, func(b *Builder, x, y []Net) []Net {
+		return b.Extend([]Net{b.ReduceXor(x)}, 32)
+	})
+	f := func(a, c uint32) bool {
+		b2u := func(v bool) uint32 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		return shlF(a, c) == a<<5 &&
+			shrF(a, c) == a>>9 &&
+			zeroF(a, c) == b2u(a == 0) &&
+			eqF(a, c) == b2u(a == c) &&
+			parityF(a, c) == RefPopcount32(a)%2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if eqF(42, 42) != 1 || zeroF(0, 9) != 1 {
+		t.Error("equality/zero sanity failed")
+	}
+}
+
+func TestDFFEHoldsValue(t *testing.T) {
+	b := NewBuilder("dffe")
+	d := b.Input("d", 1)
+	en := b.Input("en", 1)
+	q := b.DFFE(d[0], en[0], false)
+	b.Output("q", []Net{q})
+	n := b.MustBuild()
+	s, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("d", 1)
+	s.SetInput("en", 1)
+	s.Step()
+	if v, _ := s.Output("q"); v != 1 {
+		t.Fatal("enabled FF did not load")
+	}
+	s.SetInput("d", 0)
+	s.SetInput("en", 0)
+	s.Step()
+	if v, _ := s.Output("q"); v != 1 {
+		t.Fatal("disabled FF did not hold")
+	}
+	s.SetInput("en", 1)
+	s.Step()
+	if v, _ := s.Output("q"); v != 0 {
+		t.Fatal("re-enabled FF did not load")
+	}
+}
+
+func TestRegMakerUnsetPanicsOnMismatch(t *testing.T) {
+	b := NewBuilder("reg")
+	newReg := b.regMaker()
+	_, set := newReg(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch must panic")
+		}
+	}()
+	set([]Net{0})
+}

@@ -1,0 +1,502 @@
+// Package fabric simulates the Field Programmable Logic resource of the
+// Proteus architecture: a Virtex-like array of configurable logic blocks
+// (CLBs), each a 4-input LUT plus an optional D flip-flop, joined by
+// mux-based routing.
+//
+// Following §4.1 of the paper the fabric has no I/O blocks (PFUs connect
+// only to the processor datapath, removing the pin-driving security threat)
+// and no block RAM (application state belongs in the register file or main
+// memory, so only CLB registers hold state). Mux-based routing means a
+// configuration can never create a short circuit: every routing choice is an
+// index into a wire enumeration, and any index decodes to a legal circuit.
+//
+// The package provides:
+//
+//   - a structural netlist model (LUTs, flip-flops, named ports),
+//   - a Builder for constructing circuits gate by gate with word-level
+//     helpers (adders, muxes, comparators),
+//   - a functional netlist simulator,
+//   - placement of netlists onto a CLB array,
+//   - the split bitstream format of §4.1: static frames (LUT truth tables,
+//     routing selects, switchbox words) and state frames (flip-flop
+//     contents only), so the OS can save and restore just the 63-byte state
+//     of a 500-CLB PFU instead of the full 54 KB configuration,
+//   - a configured-array simulator implementing the PFU execution protocol
+//     (init in, done out) of §4.4.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Net identifies a single wire in a netlist. NilNet marks an unconnected
+// input.
+type Net int32
+
+// NilNet is the absent net.
+const NilNet Net = -1
+
+// PortDir distinguishes input from output ports.
+type PortDir int
+
+// Port directions.
+const (
+	DirIn PortDir = iota
+	DirOut
+)
+
+// Port is a named bundle of nets at the netlist boundary. Bit 0 of a
+// multi-bit port is the least significant bit.
+type Port struct {
+	Name string
+	Dir  PortDir
+	Nets []Net
+}
+
+// LUT is a lookup table with up to four inputs. Unused inputs are NilNet and
+// must be trailing. The truth table is indexed by the input bits, input 0 as
+// bit 0 of the index. A LUT with zero used inputs is a constant driver.
+type LUT struct {
+	In    [4]Net
+	Table uint16
+	Out   Net
+}
+
+// NumIn reports the number of connected inputs.
+func (l *LUT) NumIn() int {
+	n := 0
+	for _, in := range l.In {
+		if in != NilNet {
+			n++
+		}
+	}
+	return n
+}
+
+// Eval computes the LUT output for the given input bit values; vals is
+// indexed by net.
+func (l *LUT) Eval(vals []bool) bool {
+	idx := 0
+	for i, in := range l.In {
+		if in != NilNet && vals[in] {
+			idx |= 1 << i
+		}
+	}
+	return l.Table>>idx&1 != 0
+}
+
+// FF is a D flip-flop. Q takes Init at configuration time and D on each
+// rising clock edge.
+type FF struct {
+	D    Net
+	Q    Net
+	Init bool
+}
+
+// Netlist is a flattened structural circuit: LUTs and flip-flops over a
+// shared net space, with named boundary ports.
+type Netlist struct {
+	Name    string
+	NumNets int
+	Ports   []Port
+	LUTs    []LUT
+	FFs     []FF
+}
+
+// PortByName returns the named port.
+func (n *Netlist) PortByName(name string) (Port, bool) {
+	for _, p := range n.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// Stats summarises netlist resource usage.
+type Stats struct {
+	LUTs, FFs, Nets int
+	Depth           int // combinational depth in LUT levels
+}
+
+// Stats computes resource usage; depth requires a levelizable netlist and is
+// 0 otherwise.
+func (n *Netlist) Stats() Stats {
+	s := Stats{LUTs: len(n.LUTs), FFs: len(n.FFs), Nets: n.NumNets}
+	if order, err := n.Levelize(); err == nil {
+		depth := make([]int, n.NumNets)
+		for _, li := range order {
+			l := &n.LUTs[li]
+			d := 0
+			for _, in := range l.In {
+				if in != NilNet && depth[in] > d {
+					d = depth[in]
+				}
+			}
+			depth[l.Out] = d + 1
+			if d+1 > s.Depth {
+				s.Depth = d + 1
+			}
+		}
+	}
+	return s
+}
+
+// driverKind classifies what drives each net, for validation.
+type driverKind int8
+
+const (
+	drvNone driverKind = iota
+	drvLUT
+	drvFF
+	drvInput
+)
+
+// Validate checks structural sanity: every net has at most one driver, port
+// nets are in range, LUT inputs are trailing-NilNet, and every LUT input and
+// FF D is driven.
+func (n *Netlist) Validate() error {
+	if n.NumNets < 0 {
+		return fmt.Errorf("fabric: netlist %q: negative net count", n.Name)
+	}
+	drv := make([]driverKind, n.NumNets)
+	claim := func(net Net, k driverKind, what string) error {
+		if net < 0 || int(net) >= n.NumNets {
+			return fmt.Errorf("fabric: netlist %q: %s drives out-of-range net %d", n.Name, what, net)
+		}
+		if drv[net] != drvNone {
+			return fmt.Errorf("fabric: netlist %q: net %d multiply driven (%s)", n.Name, net, what)
+		}
+		drv[net] = k
+		return nil
+	}
+	for _, p := range n.Ports {
+		if p.Dir != DirIn {
+			continue
+		}
+		for _, net := range p.Nets {
+			if err := claim(net, drvInput, "input port "+p.Name); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range n.LUTs {
+		if err := claim(n.LUTs[i].Out, drvLUT, fmt.Sprintf("LUT %d", i)); err != nil {
+			return err
+		}
+	}
+	for i := range n.FFs {
+		if err := claim(n.FFs[i].Q, drvFF, fmt.Sprintf("FF %d", i)); err != nil {
+			return err
+		}
+	}
+	checkUse := func(net Net, what string) error {
+		if net == NilNet {
+			return nil
+		}
+		if net < 0 || int(net) >= n.NumNets {
+			return fmt.Errorf("fabric: netlist %q: %s reads out-of-range net %d", n.Name, what, net)
+		}
+		if drv[net] == drvNone {
+			return fmt.Errorf("fabric: netlist %q: %s reads undriven net %d", n.Name, what, net)
+		}
+		return nil
+	}
+	for i := range n.LUTs {
+		seenNil := false
+		for j, in := range n.LUTs[i].In {
+			if in == NilNet {
+				seenNil = true
+				continue
+			}
+			if seenNil {
+				return fmt.Errorf("fabric: netlist %q: LUT %d has non-trailing unconnected input %d", n.Name, i, j)
+			}
+			if err := checkUse(in, fmt.Sprintf("LUT %d input %d", i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range n.FFs {
+		if err := checkUse(n.FFs[i].D, fmt.Sprintf("FF %d D", i)); err != nil {
+			return err
+		}
+	}
+	for _, p := range n.Ports {
+		if p.Dir != DirOut {
+			continue
+		}
+		for b, net := range p.Nets {
+			if err := checkUse(net, fmt.Sprintf("output port %s bit %d", p.Name, b)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Levelize returns LUT indices in combinational evaluation order, or an
+// error if the combinational logic contains a cycle. Flip-flop outputs and
+// input ports are sources and break cycles.
+func (n *Netlist) Levelize() ([]int, error) {
+	// Map each net to the LUT (if any) that drives it.
+	lutOf := make([]int32, n.NumNets)
+	for i := range lutOf {
+		lutOf[i] = -1
+	}
+	for i := range n.LUTs {
+		lutOf[n.LUTs[i].Out] = int32(i)
+	}
+	order := make([]int, 0, len(n.LUTs))
+	state := make([]int8, len(n.LUTs)) // 0 unvisited, 1 visiting, 2 done
+	// Iterative DFS to avoid deep recursion on long adder chains.
+	type frame struct {
+		lut  int
+		next int
+	}
+	var stack []frame
+	for start := range n.LUTs {
+		if state[start] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{start, 0})
+		state[start] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			l := &n.LUTs[f.lut]
+			advanced := false
+			for f.next < 4 {
+				in := l.In[f.next]
+				f.next++
+				if in == NilNet {
+					continue
+				}
+				dep := lutOf[in]
+				if dep < 0 {
+					continue
+				}
+				switch state[dep] {
+				case 0:
+					state[dep] = 1
+					stack = append(stack, frame{int(dep), 0})
+					advanced = true
+				case 1:
+					return nil, fmt.Errorf("fabric: netlist %q: combinational cycle through LUT %d", n.Name, dep)
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced && f.next >= 4 {
+				state[f.lut] = 2
+				order = append(order, f.lut)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return order, nil
+}
+
+// Optimize performs constant folding and structural deduplication in place,
+// returning the number of LUTs removed. Ports are preserved: if a port net's
+// driver is folded away, a buffer LUT is kept.
+func Optimize(n *Netlist) int {
+	removed := 0
+	for {
+		r := optimizePass(n)
+		removed += r
+		if r == 0 {
+			return removed
+		}
+	}
+}
+
+type lutKey struct {
+	in    [4]Net
+	table uint16
+}
+
+func optimizePass(n *Netlist) int {
+	order, err := n.Levelize()
+	if err != nil {
+		return 0
+	}
+	// constVal[net]: 0 unknown, 1 false, 2 true.
+	constVal := make([]int8, n.NumNets)
+	// alias[net]: if >= 0, net is identical to alias net.
+	alias := make([]Net, n.NumNets)
+	for i := range alias {
+		alias[i] = NilNet
+	}
+	resolve := func(net Net) Net {
+		for net != NilNet && alias[net] != NilNet {
+			net = alias[net]
+		}
+		return net
+	}
+	// Nets that must keep a physical driver (outputs and FF inputs get
+	// rewritten instead, so only multiply-aliased ports matter; handled by
+	// keeping buffers below).
+	seen := make(map[lutKey]Net)
+	drop := make([]bool, len(n.LUTs))
+	removed := 0
+	for _, li := range order {
+		l := &n.LUTs[li]
+		// Rewrite inputs through aliases, then fold constants into the table.
+		tbl := l.Table
+		var ins [4]Net
+		copy(ins[:], l.In[:])
+		for i := range ins {
+			if ins[i] != NilNet {
+				ins[i] = resolve(ins[i])
+			}
+		}
+		for i := 0; i < 4; i++ {
+			in := ins[i]
+			if in == NilNet {
+				continue
+			}
+			if cv := constVal[in]; cv != 0 {
+				tbl = collapseInput(tbl, i, cv == 2)
+				// Shift higher inputs down.
+				copy(ins[i:], ins[i+1:])
+				ins[3] = NilNet
+				i--
+			}
+		}
+		// Canonicalise: if table ignores an input, remove it.
+		for i := 0; i < 4; i++ {
+			if ins[i] == NilNet {
+				continue
+			}
+			if inputIgnored(tbl, i) {
+				tbl = collapseInput(tbl, i, false)
+				copy(ins[i:], ins[i+1:])
+				ins[3] = NilNet
+				i--
+			}
+		}
+		used := 0
+		for _, in := range ins {
+			if in != NilNet {
+				used++
+			}
+		}
+		tbl = CanonTable(tbl, used)
+		l.In = ins
+		l.Table = tbl
+		switch {
+		case ins[0] == NilNet: // constant
+			if tbl&1 != 0 {
+				constVal[l.Out] = 2
+				l.Table = 0xFFFF
+			} else {
+				constVal[l.Out] = 1
+				l.Table = 0
+			}
+		case isBufferTable(tbl, ins): // single-input buffer
+			alias[l.Out] = ins[0]
+			drop[li] = true
+			removed++
+			continue
+		}
+		key := lutKey{ins, l.Table}
+		if prev, ok := seen[key]; ok {
+			alias[l.Out] = prev
+			drop[li] = true
+			removed++
+			continue
+		}
+		seen[key] = l.Out
+	}
+	// Rewrite FF inputs and outputs through aliases.
+	for i := range n.FFs {
+		n.FFs[i].D = resolve(n.FFs[i].D)
+	}
+	needDriver := map[Net]bool{}
+	for pi := range n.Ports {
+		p := &n.Ports[pi]
+		if p.Dir != DirOut {
+			continue
+		}
+		for bi := range p.Nets {
+			r := resolve(p.Nets[bi])
+			p.Nets[bi] = r
+			needDriver[r] = true
+		}
+	}
+	// Keep drivers for aliased nets that ports now reference... ports were
+	// rewritten to the alias target, whose driver survives, so nothing to do.
+	_ = needDriver
+	if removed == 0 {
+		return 0
+	}
+	kept := n.LUTs[:0]
+	for li := range n.LUTs {
+		if !drop[li] {
+			kept = append(kept, n.LUTs[li])
+		}
+	}
+	n.LUTs = kept
+	return removed
+}
+
+// collapseInput specialises a 4-input truth table by fixing input i to val,
+// producing a table over the remaining inputs (higher inputs shift down).
+func collapseInput(tbl uint16, i int, val bool) uint16 {
+	var out uint16
+	for idx := 0; idx < 16; idx++ {
+		// Build source index: insert val at position i.
+		low := idx & (1<<i - 1)
+		high := idx >> i << (i + 1)
+		src := high | low
+		if val {
+			src |= 1 << i
+		}
+		if src < 16 && tbl>>src&1 != 0 {
+			out |= 1 << idx
+		}
+	}
+	return out
+}
+
+// CanonTable replicates the low 2^k entries of a truth table across the
+// whole 16-entry table, the canonical form for a LUT with k used inputs
+// (unused inputs read as zero, so upper entries are don't-cares).
+func CanonTable(tbl uint16, k int) uint16 {
+	if k >= 4 {
+		return tbl
+	}
+	span := 1 << k
+	mask := uint16(1)<<span - 1
+	low := tbl & mask
+	var out uint16
+	for off := 0; off < 16; off += span {
+		out |= low << off
+	}
+	return out
+}
+
+// inputIgnored reports whether truth table tbl is independent of input i.
+func inputIgnored(tbl uint16, i int) bool {
+	for idx := 0; idx < 16; idx++ {
+		if idx>>i&1 != 0 {
+			continue
+		}
+		if tbl>>idx&1 != tbl>>(idx|1<<i)&1 {
+			return false
+		}
+	}
+	return true
+}
+
+// isBufferTable reports whether the LUT is a single-input identity.
+func isBufferTable(tbl uint16, ins [4]Net) bool {
+	return ins[0] != NilNet && ins[1] == NilNet && tbl == 0xAAAA
+}
+
+// SortPorts orders ports by name for deterministic serialisation.
+func (n *Netlist) SortPorts() {
+	sort.Slice(n.Ports, func(i, j int) bool { return n.Ports[i].Name < n.Ports[j].Name })
+}

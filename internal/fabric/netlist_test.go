@@ -1,0 +1,319 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUTEval(t *testing.T) {
+	vals := []bool{false, true, false, true}
+	l := LUT{In: [4]Net{0, 1, 2, 3}, Table: 0xAAAA} // out = input0
+	if got := l.Eval(vals); got != false {
+		t.Errorf("identity on in0: got %v", got)
+	}
+	l = LUT{In: [4]Net{1, NilNet, NilNet, NilNet}, Table: 0xAAAA}
+	if got := l.Eval(vals); got != true {
+		t.Errorf("buffer of true: got %v", got)
+	}
+	l = LUT{In: [4]Net{NilNet, NilNet, NilNet, NilNet}, Table: 0xFFFF}
+	if got := l.Eval(vals); got != true {
+		t.Errorf("constant one: got %v", got)
+	}
+}
+
+func TestLUTNumIn(t *testing.T) {
+	l := LUT{In: [4]Net{3, 5, NilNet, NilNet}}
+	if l.NumIn() != 2 {
+		t.Errorf("NumIn = %d, want 2", l.NumIn())
+	}
+}
+
+func TestValidateRejectsMultipleDrivers(t *testing.T) {
+	n := &Netlist{
+		Name:    "bad",
+		NumNets: 2,
+		Ports:   []Port{{Name: "a", Dir: DirIn, Nets: []Net{0}}},
+		LUTs: []LUT{
+			{In: [4]Net{0, NilNet, NilNet, NilNet}, Table: 0xAAAA, Out: 1},
+			{In: [4]Net{0, NilNet, NilNet, NilNet}, Table: 0x5555, Out: 1},
+		},
+	}
+	if err := n.Validate(); err == nil {
+		t.Fatal("want multiple-driver error")
+	}
+}
+
+func TestValidateRejectsUndrivenInput(t *testing.T) {
+	n := &Netlist{
+		Name:    "bad",
+		NumNets: 3,
+		Ports:   []Port{{Name: "a", Dir: DirIn, Nets: []Net{0}}},
+		LUTs: []LUT{
+			{In: [4]Net{2, NilNet, NilNet, NilNet}, Table: 0xAAAA, Out: 1},
+		},
+	}
+	if err := n.Validate(); err == nil {
+		t.Fatal("want undriven-net error")
+	}
+}
+
+func TestValidateRejectsNonTrailingNil(t *testing.T) {
+	n := &Netlist{
+		Name:    "bad",
+		NumNets: 2,
+		Ports:   []Port{{Name: "a", Dir: DirIn, Nets: []Net{0}}},
+		LUTs: []LUT{
+			{In: [4]Net{NilNet, 0, NilNet, NilNet}, Table: 0xAAAA, Out: 1},
+		},
+	}
+	if err := n.Validate(); err == nil {
+		t.Fatal("want non-trailing-nil error")
+	}
+}
+
+func TestLevelizeDetectsCombinationalCycle(t *testing.T) {
+	// Two inverters in a ring.
+	n := &Netlist{
+		Name:    "ring",
+		NumNets: 2,
+		LUTs: []LUT{
+			{In: [4]Net{1, NilNet, NilNet, NilNet}, Table: 0x5555, Out: 0},
+			{In: [4]Net{0, NilNet, NilNet, NilNet}, Table: 0x5555, Out: 1},
+		},
+	}
+	if _, err := n.Levelize(); err == nil {
+		t.Fatal("want combinational cycle error")
+	}
+}
+
+func TestLevelizeAllowsFFCycle(t *testing.T) {
+	// Inverter through a flip-flop: a legal oscillator.
+	n := &Netlist{
+		Name:    "toggle",
+		NumNets: 2,
+		LUTs: []LUT{
+			{In: [4]Net{1, NilNet, NilNet, NilNet}, Table: 0x5555, Out: 0},
+		},
+		FFs: []FF{{D: 0, Q: 1}},
+	}
+	if _, err := n.Levelize(); err != nil {
+		t.Fatalf("FF cycle should levelize: %v", err)
+	}
+}
+
+func TestLevelizeOrdersDependencies(t *testing.T) {
+	b := NewBuilder("chain")
+	a := b.Input("a", 1)
+	x := a[0]
+	for i := 0; i < 100; i++ {
+		x = b.Not(x)
+	}
+	b.Output("out", []Net{x})
+	n := b.MustBuild()
+	order, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	lutOf := map[Net]int{}
+	for i := range n.LUTs {
+		lutOf[n.LUTs[i].Out] = i
+	}
+	for _, li := range order {
+		for _, in := range n.LUTs[li].In {
+			if in == NilNet {
+				continue
+			}
+			if dep, ok := lutOf[in]; ok && !seen[dep] {
+				t.Fatalf("LUT %d evaluated before dependency %d", li, dep)
+			}
+		}
+		seen[li] = true
+	}
+	if len(order) != len(n.LUTs) {
+		t.Fatalf("order covers %d of %d LUTs", len(order), len(n.LUTs))
+	}
+}
+
+func TestCanonTable(t *testing.T) {
+	if got := CanonTable(0x0002, 1); got != 0xAAAA {
+		t.Errorf("CanonTable(0x0002,1) = %#04x, want 0xAAAA", got)
+	}
+	if got := CanonTable(0x00E2, 3); got != 0xE2E2 {
+		t.Errorf("CanonTable(0x00E2,3) = %#04x, want 0xE2E2", got)
+	}
+	if got := CanonTable(0x1234, 4); got != 0x1234 {
+		t.Errorf("CanonTable with 4 inputs must be identity")
+	}
+	if got := CanonTable(0x0001, 0); got != 0xFFFF {
+		t.Errorf("CanonTable(1,0) = %#04x, want 0xFFFF", got)
+	}
+}
+
+func TestCollapseInput(t *testing.T) {
+	// AND2 table over inputs (0,1): 0x8888. Fix input 1 to true -> buffer of
+	// input 0.
+	got := collapseInput(0x8888, 1, true)
+	if CanonTable(got, 1) != 0xAAAA {
+		t.Errorf("AND with true = buffer: got %#04x", got)
+	}
+	// Fix input 1 to false -> constant 0.
+	got = collapseInput(0x8888, 1, false)
+	if CanonTable(got, 1) != 0 {
+		t.Errorf("AND with false = const0: got %#04x", got)
+	}
+}
+
+func TestInputIgnored(t *testing.T) {
+	if !inputIgnored(0xAAAA, 1) {
+		t.Error("buffer of in0 must ignore in1")
+	}
+	if inputIgnored(0xAAAA, 0) {
+		t.Error("buffer of in0 must depend on in0")
+	}
+	if !inputIgnored(0x8888, 2) || !inputIgnored(0x8888, 3) {
+		t.Error("AND2 ignores inputs 2 and 3")
+	}
+}
+
+// TestOptimizePreservesBehaviour checks every stock circuit behaves
+// identically before and after optimisation, over random stimulus.
+func TestOptimizePreservesBehaviour(t *testing.T) {
+	circuits := []func() *Netlist{
+		Passthrough32, Xor32, Adder32, Popcount32, CRC32Step, SatAdd16,
+		SeqMul16, AlphaBlend, BarrelShift32, LFSR32,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, mk := range circuits {
+		ref := mk()
+		opt := mk()
+		removed := Optimize(opt)
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("%s: optimized netlist invalid: %v", ref.Name, err)
+		}
+		if removed < 0 {
+			t.Fatalf("%s: negative removal count", ref.Name)
+		}
+		simA, err := NewSim(ref)
+		if err != nil {
+			t.Fatalf("%s: %v", ref.Name, err)
+		}
+		simB, err := NewSim(opt)
+		if err != nil {
+			t.Fatalf("%s optimized: %v", ref.Name, err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			a, b := rng.Uint32(), rng.Uint32()
+			outA, cycA := runProtocolSim(t, simA, a, b, 64)
+			outB, cycB := runProtocolSim(t, simB, a, b, 64)
+			if outA != outB || cycA != cycB {
+				t.Fatalf("%s: optimize changed behaviour on (%#x,%#x): (%#x,%d) vs (%#x,%d)",
+					ref.Name, a, b, outA, cycA, outB, cycB)
+			}
+		}
+	}
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	b := NewBuilder("fold")
+	a := b.Input("a", 1)
+	b.Input("b", 32)
+	b.Input("init", 1)
+	// x = a AND 0 = 0; out = x OR a = a.
+	x := b.And(a[0], b.Const(false))
+	y := b.Or(x, a[0])
+	out := make([]Net, 32)
+	out[0] = y
+	for i := 1; i < 32; i++ {
+		out[i] = b.Const(false)
+	}
+	b.Output("out", out)
+	b.Output("done", []Net{b.Const(true)})
+	// Give it PFU-style "a" with 1 bit; just simulate directly.
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(n.LUTs)
+	Optimize(n)
+	if len(n.LUTs) >= before {
+		t.Errorf("optimize removed nothing (%d -> %d LUTs)", before, len(n.LUTs))
+	}
+	s, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, av := range []uint64{0, 1} {
+		s.SetInput("a", av)
+		s.Eval()
+		got, _ := s.Output("out")
+		if got != av {
+			t.Errorf("folded circuit: out(%d) = %d", av, got)
+		}
+	}
+}
+
+func TestOptimizeDeduplicates(t *testing.T) {
+	b := NewBuilder("dedup")
+	a := b.Input("a", 2)
+	x := b.And(a[0], a[1])
+	y := b.And(a[0], a[1]) // structural duplicate
+	z := b.Xor(x, y)       // always 0 after dedup... but behaviour is same
+	b.Output("out", []Net{z})
+	n := b.MustBuild()
+	before := len(n.LUTs)
+	removed := Optimize(n)
+	if removed == 0 {
+		t.Errorf("expected dedup to remove LUTs (before=%d)", before)
+	}
+	s, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 4; v++ {
+		s.SetInput("a", v)
+		s.Eval()
+		got, _ := s.Output("out")
+		if got != 0 {
+			t.Errorf("x xor x must be 0, got %d for a=%d", got, v)
+		}
+	}
+}
+
+func TestStatsDepth(t *testing.T) {
+	b := NewBuilder("depth")
+	a := b.Input("a", 1)
+	x := a[0]
+	for i := 0; i < 5; i++ {
+		x = b.Not(x)
+	}
+	b.Output("out", []Net{x})
+	n := b.MustBuild()
+	st := n.Stats()
+	if st.Depth != 5 {
+		t.Errorf("depth = %d, want 5", st.Depth)
+	}
+	if st.LUTs != 5 {
+		t.Errorf("LUTs = %d, want 5", st.LUTs)
+	}
+}
+
+// Property: CanonTable is idempotent and only depends on the low 2^k bits.
+func TestCanonTableProperties(t *testing.T) {
+	f := func(tbl uint16, kRaw uint8) bool {
+		k := int(kRaw % 5)
+		c := CanonTable(tbl, k)
+		if CanonTable(c, k) != c {
+			return false
+		}
+		mask := uint16(0xFFFF)
+		if k < 4 {
+			mask = uint16(1)<<(1<<k) - 1
+		}
+		return CanonTable(tbl&mask, k) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package fabric
+
+import "fmt"
+
+// PFU simulates one configured CLB array implementing the paper's PFU
+// execution interface (§4.4): two 32-bit operand inputs, the init control
+// signal in, a 32-bit result and the completion signal out. Each Step is
+// one clock cycle: combinational logic settles, outputs are sampled, then
+// every used flip-flop latches.
+//
+// NewPFU doubles as the functional-security validator of §2: a
+// configuration whose combinational logic loops (and so could never
+// terminate or would oscillate) is rejected at load time, before it ever
+// executes.
+type PFU struct {
+	cfg   *ArrayConfig
+	order []int  // CLB indices with used LUTs, in evaluation order
+	wires []bool // wire value per the array wire enumeration
+	ffQ   []bool // per-CLB register value (only meaningful when FF used)
+	ffNxt []bool
+	outW  [33]int // resolved OutSel wires, -1 = constant 0
+}
+
+// NewPFU validates a configuration and builds its simulator.
+func NewPFU(cfg *ArrayConfig) (*PFU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &PFU{
+		cfg:   cfg,
+		wires: make([]bool, cfg.Spec.NumWires()),
+		ffQ:   make([]bool, cfg.Spec.CLBs()),
+		ffNxt: make([]bool, cfg.Spec.CLBs()),
+	}
+	if err := p.levelize(); err != nil {
+		return nil, err
+	}
+	for i, sel := range cfg.OutSel {
+		p.outW[i] = int(sel) - 1
+	}
+	p.Reset()
+	return p, nil
+}
+
+// levelize orders used LUT CLBs so every combinational input is computed
+// before its consumer. CLB outputs that come from the flip-flop (FlagOutFF)
+// are sequential sources and break cycles.
+func (p *PFU) levelize() error {
+	spec := p.cfg.Spec
+	n := spec.CLBs()
+	// comb[i]: CLB i's output wire is combinational (driven by LUT directly).
+	needsEval := make([]bool, n)
+	combOut := make([]bool, n)
+	for i := range p.cfg.CLBs {
+		c := &p.cfg.CLBs[i]
+		if c.Flags&FlagLUTUsed != 0 {
+			needsEval[i] = true
+			if c.Flags&FlagOutFF == 0 {
+				combOut[i] = true
+			}
+		}
+	}
+	state := make([]int8, n)
+	order := make([]int, 0, n)
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("fabric: combinational cycle through CLB %d; configuration rejected", i)
+		}
+		state[i] = 1
+		c := &p.cfg.CLBs[i]
+		for pin := 0; pin < 4; pin++ {
+			sel := int(c.InSel[pin]) - 1
+			if sel < WireCLB0 {
+				continue
+			}
+			src := sel - WireCLB0
+			if combOut[src] {
+				if err := visit(src); err != nil {
+					return err
+				}
+			}
+		}
+		state[i] = 2
+		order = append(order, i)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if needsEval[i] {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	p.order = order
+	return nil
+}
+
+// Reset restores every register to its configured initial value, the
+// power-on state of a freshly loaded circuit.
+func (p *PFU) Reset() {
+	for i := range p.cfg.CLBs {
+		p.ffQ[i] = p.cfg.CLBs[i].Flags&FlagFFInit != 0
+	}
+}
+
+func (p *PFU) wire(idx int) bool {
+	if idx < 0 {
+		return false
+	}
+	return p.wires[idx]
+}
+
+// Step advances the circuit by one clock cycle with the given operand and
+// init values, returning the sampled result and completion outputs.
+func (p *PFU) Step(a, b uint32, init bool) (out uint32, done bool) {
+	// Drive inputs and register outputs onto the wire enumeration.
+	for i := 0; i < 32; i++ {
+		p.wires[WireA0+i] = a>>i&1 != 0
+		p.wires[WireB0+i] = b>>i&1 != 0
+	}
+	p.wires[WireInit] = init
+	for i := range p.cfg.CLBs {
+		c := &p.cfg.CLBs[i]
+		if c.Flags&FlagOutFF != 0 {
+			p.wires[WireCLB0+i] = p.ffQ[i]
+		}
+	}
+	// Settle combinational logic.
+	lutIn := make([]bool, 0, 4)
+	_ = lutIn
+	for _, i := range p.order {
+		c := &p.cfg.CLBs[i]
+		idx := 0
+		for pin := 0; pin < 4; pin++ {
+			sel := int(c.InSel[pin]) - 1
+			if sel >= 0 && p.wires[sel] {
+				idx |= 1 << pin
+			}
+		}
+		v := c.Table>>idx&1 != 0
+		if c.Flags&FlagOutFF == 0 {
+			p.wires[WireCLB0+i] = v
+		} else if c.Flags&FlagFFFromPin == 0 {
+			// LUT feeds the register internally; stage for the edge.
+			p.ffNxt[i] = v
+		}
+	}
+	// Sample outputs before the clock edge.
+	for i := 0; i < 32; i++ {
+		if p.wire(p.outW[i]) {
+			out |= 1 << i
+		}
+	}
+	done = p.wire(p.outW[32])
+	// Clock edge.
+	for i := range p.cfg.CLBs {
+		c := &p.cfg.CLBs[i]
+		if c.Flags&FlagFFUsed == 0 {
+			continue
+		}
+		if c.Flags&FlagFFFromPin != 0 {
+			sel := int(c.InSel[0]) - 1
+			p.ffQ[i] = p.wire(sel)
+		} else if c.Flags&FlagLUTUsed != 0 {
+			p.ffQ[i] = p.ffNxt[i]
+		}
+	}
+	return out, done
+}
+
+// SaveState reads back the state frame group: one bit per CLB register.
+// This is the cheap half of the split configuration of §4.1.
+func (p *PFU) SaveState() []bool {
+	st := make([]bool, len(p.ffQ))
+	copy(st, p.ffQ)
+	return st
+}
+
+// LoadState restores a state frame group.
+func (p *PFU) LoadState(state []bool) error {
+	if len(state) != len(p.ffQ) {
+		return fmt.Errorf("fabric: state has %d bits, PFU has %d CLBs", len(state), len(p.ffQ))
+	}
+	copy(p.ffQ, state)
+	return nil
+}
+
+// Spec reports the array geometry.
+func (p *PFU) Spec() ArraySpec { return p.cfg.Spec }

@@ -1,0 +1,235 @@
+// Package twofish implements the Twofish block cipher (Schneier et al.,
+// 1998) for 128-bit keys. The twofish encryption test application of the
+// paper needs it three ways: as the behavioural model of the custom
+// hardware circuit, as the generator of the key-dependent S-box tables that
+// the ARM software implementation looks up, and as the Go reference the
+// tests verify both against.
+package twofish
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// BlockSize is the cipher block size in bytes.
+const BlockSize = 16
+
+const (
+	mdsPolynomial = 0x169 // x^8 + x^6 + x^5 + x^3 + 1
+	rsPolynomial  = 0x14D // x^8 + x^6 + x^3 + x^2 + 1
+)
+
+// qbox are the fixed 8-bit permutations q0 and q1, expanded from the
+// nibble tables of the specification.
+var qbox [2][256]byte
+
+var qt = [2][4][16]byte{
+	{ // q0
+		{0x8, 0x1, 0x7, 0xD, 0x6, 0xF, 0x3, 0x2, 0x0, 0xB, 0x5, 0x9, 0xE, 0xC, 0xA, 0x4},
+		{0xE, 0xC, 0xB, 0x8, 0x1, 0x2, 0x3, 0x5, 0xF, 0x4, 0xA, 0x6, 0x7, 0x0, 0x9, 0xD},
+		{0xB, 0xA, 0x5, 0xE, 0x6, 0xD, 0x9, 0x0, 0xC, 0x8, 0xF, 0x3, 0x2, 0x4, 0x7, 0x1},
+		{0xD, 0x7, 0xF, 0x4, 0x1, 0x2, 0x6, 0xE, 0x9, 0xB, 0x3, 0x0, 0x8, 0x5, 0xC, 0xA},
+	},
+	{ // q1
+		{0x2, 0x8, 0xB, 0xD, 0xF, 0x7, 0x6, 0xE, 0x3, 0x1, 0x9, 0x4, 0x0, 0xA, 0xC, 0x5},
+		{0x1, 0xE, 0x2, 0xB, 0x4, 0xC, 0x3, 0x7, 0x6, 0xD, 0xA, 0x5, 0xF, 0x9, 0x0, 0x8},
+		{0x4, 0xC, 0x7, 0x5, 0x1, 0x6, 0x9, 0xA, 0x0, 0xE, 0xD, 0x8, 0x2, 0xB, 0x3, 0xF},
+		{0xB, 0x9, 0x5, 0x1, 0xC, 0x3, 0xD, 0xE, 0x6, 0x4, 0x7, 0xF, 0x2, 0x0, 0x8, 0xA},
+	},
+}
+
+var rs = [4][8]byte{
+	{0x01, 0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E},
+	{0xA4, 0x56, 0x82, 0xF3, 0x1E, 0xC6, 0x68, 0xE5},
+	{0x02, 0xA1, 0xFC, 0xC1, 0x47, 0xAE, 0x3D, 0x19},
+	{0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E, 0x03},
+}
+
+func init() {
+	for n := range qbox {
+		for x := 0; x < 256; x++ {
+			a0, b0 := byte(x)>>4, byte(x)&0xF
+			a1 := a0 ^ b0
+			b1 := a0 ^ ((b0<<3)|(b0>>1))&0xF ^ (a0 << 3 & 0xF)
+			a2 := qt[n][0][a1]
+			b2 := qt[n][1][b1]
+			a3 := a2 ^ b2
+			b3 := a2 ^ ((b2<<3)|(b2>>1))&0xF ^ (a2 << 3 & 0xF)
+			a4 := qt[n][2][a3]
+			b4 := qt[n][3][b3]
+			qbox[n][x] = b4<<4 | a4
+		}
+	}
+}
+
+// gfMult multiplies a and b in GF(2^8) modulo the given polynomial.
+func gfMult(a, b byte, p uint32) byte {
+	var result uint32
+	x := uint32(a)
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			result ^= x
+		}
+		b >>= 1
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= p
+		}
+	}
+	return byte(result)
+}
+
+// mdsColumnMult computes one column of the MDS matrix multiply for byte
+// `in` in column `col`, packed little-endian.
+func mdsColumnMult(in byte, col int) uint32 {
+	m1 := uint32(in)
+	m5B := uint32(gfMult(in, 0x5B, mdsPolynomial))
+	mEF := uint32(gfMult(in, 0xEF, mdsPolynomial))
+	switch col {
+	case 0:
+		return m1 | m5B<<8 | mEF<<16 | mEF<<24
+	case 1:
+		return mEF | mEF<<8 | m5B<<16 | m1<<24
+	case 2:
+		return m5B | mEF<<8 | m1<<16 | mEF<<24
+	default:
+		return m5B | m1<<8 | mEF<<16 | m5B<<24
+	}
+}
+
+// Cipher is a keyed Twofish instance.
+type Cipher struct {
+	// K is the 40-word expanded key schedule.
+	K [40]uint32
+	// S are the key-dependent S-box tables with the MDS multiply folded
+	// in: g(X) = S[0][b0] ^ S[1][b1] ^ S[2][b2] ^ S[3][b3].
+	S [4][256]uint32
+}
+
+// New expands a 128-bit key.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("twofish: key must be 16 bytes, got %d", len(key))
+	}
+	c := &Cipher{}
+
+	// S vector from the RS code over the key.
+	var sbytes [8]byte
+	for i := 0; i < 2; i++ {
+		for j, row := range rs {
+			for k2, v := range row {
+				sbytes[4*i+j] ^= gfMult(key[8*i+k2], v, rsPolynomial)
+			}
+		}
+	}
+
+	// Round subkeys via the h function over the raw key material.
+	var tmp [4]byte
+	for i := byte(0); i < 20; i++ {
+		for j := range tmp {
+			tmp[j] = 2 * i
+		}
+		a := h(tmp, key, 0)
+		for j := range tmp {
+			tmp[j] = 2*i + 1
+		}
+		b := bits.RotateLeft32(h(tmp, key, 1), 8)
+		c.K[2*i] = a + b
+		c.K[2*i+1] = bits.RotateLeft32(a+2*b, 9)
+	}
+
+	// Key-dependent S-boxes (k = 2).
+	for i := 0; i < 256; i++ {
+		b := byte(i)
+		c.S[0][i] = mdsColumnMult(qbox[1][qbox[0][qbox[0][b]^sbytes[0]]^sbytes[4]], 0)
+		c.S[1][i] = mdsColumnMult(qbox[0][qbox[0][qbox[1][b]^sbytes[1]]^sbytes[5]], 1)
+		c.S[2][i] = mdsColumnMult(qbox[1][qbox[1][qbox[0][b]^sbytes[2]]^sbytes[6]], 2)
+		c.S[3][i] = mdsColumnMult(qbox[0][qbox[1][qbox[1][b]^sbytes[3]]^sbytes[7]], 3)
+	}
+	return c, nil
+}
+
+// h is the key-schedule h function for 128-bit keys (k = 2).
+func h(in [4]byte, key []byte, offset int) uint32 {
+	y := in
+	y[0] = qbox[1][qbox[0][qbox[0][y[0]]^key[4*(2+offset)+0]]^key[4*(0+offset)+0]]
+	y[1] = qbox[0][qbox[0][qbox[1][y[1]]^key[4*(2+offset)+1]]^key[4*(0+offset)+1]]
+	y[2] = qbox[1][qbox[1][qbox[0][y[2]]^key[4*(2+offset)+2]]^key[4*(0+offset)+2]]
+	y[3] = qbox[0][qbox[1][qbox[1][y[3]]^key[4*(2+offset)+3]]^key[4*(0+offset)+3]]
+	var out uint32
+	for i, v := range y {
+		out ^= mdsColumnMult(v, i)
+	}
+	return out
+}
+
+func (c *Cipher) g(x uint32) uint32 {
+	return c.S[0][byte(x)] ^ c.S[1][byte(x>>8)] ^ c.S[2][byte(x>>16)] ^ c.S[3][byte(x>>24)]
+}
+
+// EncryptWords encrypts one block given as four little-endian words.
+func (c *Cipher) EncryptWords(p [4]uint32) [4]uint32 {
+	ia := p[0] ^ c.K[0]
+	ib := p[1] ^ c.K[1]
+	ic := p[2] ^ c.K[2]
+	id := p[3] ^ c.K[3]
+
+	for i := 0; i < 8; i++ {
+		k := c.K[8+i*4 : 12+i*4]
+		t2 := c.g(bits.RotateLeft32(ib, 8))
+		t1 := c.g(ia) + t2
+		ic = bits.RotateLeft32(ic^(t1+k[0]), -1)
+		id = bits.RotateLeft32(id, 1) ^ (t2 + t1 + k[1])
+		t2 = c.g(bits.RotateLeft32(id, 8))
+		t1 = c.g(ic) + t2
+		ia = bits.RotateLeft32(ia^(t1+k[2]), -1)
+		ib = bits.RotateLeft32(ib, 1) ^ (t2 + t1 + k[3])
+	}
+	return [4]uint32{ic ^ c.K[4], id ^ c.K[5], ia ^ c.K[6], ib ^ c.K[7]}
+}
+
+// DecryptWords inverts EncryptWords.
+func (c *Cipher) DecryptWords(ct [4]uint32) [4]uint32 {
+	ic := ct[0] ^ c.K[4]
+	id := ct[1] ^ c.K[5]
+	ia := ct[2] ^ c.K[6]
+	ib := ct[3] ^ c.K[7]
+
+	for i := 7; i >= 0; i-- {
+		k := c.K[8+i*4 : 12+i*4]
+		t2 := c.g(bits.RotateLeft32(id, 8))
+		t1 := c.g(ic) + t2
+		ia = bits.RotateLeft32(ia, 1) ^ (t1 + k[2])
+		ib = bits.RotateLeft32(ib^(t2+t1+k[3]), -1)
+		t2 = c.g(bits.RotateLeft32(ib, 8))
+		t1 = c.g(ia) + t2
+		ic = bits.RotateLeft32(ic, 1) ^ (t1 + k[0])
+		id = bits.RotateLeft32(id^(t2+t1+k[1]), -1)
+	}
+	return [4]uint32{ia ^ c.K[0], ib ^ c.K[1], ic ^ c.K[2], id ^ c.K[3]}
+}
+
+// Encrypt encrypts one 16-byte block (dst and src may alias).
+func (c *Cipher) Encrypt(dst, src []byte) {
+	var p [4]uint32
+	for i := range p {
+		p[i] = binary.LittleEndian.Uint32(src[4*i:])
+	}
+	ct := c.EncryptWords(p)
+	for i, w := range ct {
+		binary.LittleEndian.PutUint32(dst[4*i:], w)
+	}
+}
+
+// Decrypt decrypts one 16-byte block.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	var ct [4]uint32
+	for i := range ct {
+		ct[i] = binary.LittleEndian.Uint32(src[4*i:])
+	}
+	p := c.DecryptWords(ct)
+	for i, w := range p {
+		binary.LittleEndian.PutUint32(dst[4*i:], w)
+	}
+}

@@ -1,0 +1,157 @@
+package twofish
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// TestKnownAnswer checks the published 128-bit test vector from the
+// Twofish paper: the all-zero key encrypting the all-zero block.
+func TestKnownAnswer(t *testing.T) {
+	key := make([]byte, 16)
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, 16)
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	want, _ := hex.DecodeString("9F589F5CF6122C32B6BFEC2F2AE8C35A")
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("ct = %X, want %X", ct, want)
+	}
+}
+
+// TestIteratedKnownAnswer runs the first steps of the paper's ECB
+// intermediate-value chain: key_{i+1} = ct_i fed forward.
+func TestIteratedKnownAnswer(t *testing.T) {
+	key := make([]byte, 16)
+	pt := make([]byte, 16)
+	c, _ := New(key)
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	// Iteration 2: same zero key, previous ciphertext as plaintext.
+	ct2 := make([]byte, 16)
+	c.Encrypt(ct2, ct)
+	want, _ := hex.DecodeString("D491DB16E7B1C39E86CB086B789F5419")
+	if !bytes.Equal(ct2, want) {
+		t.Fatalf("iteration 2 ct = %X, want %X", ct2, want)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		c, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, 16)
+		pt := make([]byte, 16)
+		c.Encrypt(ct, block[:])
+		c.Decrypt(pt, ct)
+		return bytes.Equal(pt, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsAndBytesAgree(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("fedcba9876543210")
+	ct := make([]byte, 16)
+	c.Encrypt(ct, src)
+	var p [4]uint32
+	for i := range p {
+		p[i] = uint32(src[4*i]) | uint32(src[4*i+1])<<8 | uint32(src[4*i+2])<<16 | uint32(src[4*i+3])<<24
+	}
+	w := c.EncryptWords(p)
+	for i := range w {
+		got := uint32(ct[4*i]) | uint32(ct[4*i+1])<<8 | uint32(ct[4*i+2])<<16 | uint32(ct[4*i+3])<<24
+		if got != w[i] {
+			t.Fatalf("word %d mismatch: %#x vs %#x", i, got, w[i])
+		}
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one plaintext bit must change roughly half the ciphertext
+	// bits (within a loose band).
+	key := []byte("avalanche-key-00")
+	c, _ := New(key)
+	pt := make([]byte, 16)
+	ct1 := make([]byte, 16)
+	c.Encrypt(ct1, pt)
+	pt[0] ^= 1
+	ct2 := make([]byte, 16)
+	c.Encrypt(ct2, pt)
+	diff := 0
+	for i := range ct1 {
+		x := ct1[i] ^ ct2[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff < 40 || diff > 88 {
+		t.Fatalf("avalanche: %d bits differ", diff)
+	}
+}
+
+func TestKeyLengthValidation(t *testing.T) {
+	if _, err := New(make([]byte, 8)); err == nil {
+		t.Fatal("8-byte key accepted")
+	}
+	if _, err := New(make([]byte, 32)); err == nil {
+		t.Fatal("32-byte key accepted (only 128-bit supported)")
+	}
+}
+
+func TestDistinctKeysDistinctCiphertexts(t *testing.T) {
+	pt := make([]byte, 16)
+	c1, _ := New(make([]byte, 16))
+	k2 := make([]byte, 16)
+	k2[15] = 1
+	c2, _ := New(k2)
+	ct1 := make([]byte, 16)
+	ct2 := make([]byte, 16)
+	c1.Encrypt(ct1, pt)
+	c2.Encrypt(ct2, pt)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+}
+
+func TestGfMult(t *testing.T) {
+	// Multiplication by 1 is identity; by 0 is 0.
+	for _, x := range []byte{0, 1, 0x53, 0xFF} {
+		if gfMult(x, 1, mdsPolynomial) != x {
+			t.Errorf("x*1 != x for %#x", x)
+		}
+		if gfMult(x, 0, mdsPolynomial) != 0 {
+			t.Errorf("x*0 != 0 for %#x", x)
+		}
+	}
+	// Commutativity.
+	if gfMult(0x57, 0x83, mdsPolynomial) != gfMult(0x83, 0x57, mdsPolynomial) {
+		t.Error("gf multiply not commutative")
+	}
+}
+
+func TestQBoxPermutations(t *testing.T) {
+	// q0 and q1 must be permutations of 0..255.
+	for n := range qbox {
+		var seen [256]bool
+		for _, v := range qbox[n] {
+			if seen[v] {
+				t.Fatalf("q%d not a permutation: %#x repeated", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}

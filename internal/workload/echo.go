@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"fmt"
+
+	"protean/internal/core"
+	"protean/internal/fabric"
+)
+
+// The audio echo application (§5.1): the only test application with two
+// custom instructions used in a tight loop, so it hits PFU contention after
+// just two concurrent instances on a four-PFU array.
+//
+// Per sample (Q15 fixed point):
+//
+//	wet = (g1*d1 + g2*d2) >> 15                   (CI 1: dual-tap mixer)
+//	out = softclip(dry + wet)                     (CI 2: mix + soft knee)
+//	delay[n % D] = out                            (feedback)
+//
+// with taps d1 = delay[n%D], d2 = delay[(n+D/2)%D], gains g1 = 0.5 and
+// g2 = 0.25. The gains keep every intermediate inside 16-bit range, so no
+// saturation stage is needed and all three builds agree exactly.
+
+const (
+	echoDelay   = 64 // delay line length in samples
+	echoGains   = 0x2000_4000
+	echoKnee    = 24575
+	echoWetLat  = 4
+	echoMixLat  = 2
+	echoWetCID  = 1
+	echoMixCID  = 2
+	echoTapSkew = echoDelay / 2
+)
+
+// EchoWet is the dual-tap mixer semantics: a packs taps (d1 low, d2 high),
+// b packs gains (g1 low, g2 high), all signed Q15 halfwords.
+func EchoWet(taps, gains uint32) uint32 {
+	d1 := int32(int16(taps))
+	d2 := int32(int16(taps >> 16))
+	g1 := int32(int16(gains))
+	g2 := int32(int16(gains >> 16))
+	return uint32((g1*d1 + g2*d2) >> 15)
+}
+
+// EchoMix is the mix-and-soft-clip semantics over sign-interpreted low
+// halfwords.
+func EchoMix(dry, wet uint32) uint32 {
+	s := int32(int16(dry)) + int32(int16(wet))
+	if s > echoKnee {
+		s = echoKnee + (s-echoKnee)>>3
+	}
+	if s < -echoKnee-1 {
+		s = -echoKnee - 1 + (s+echoKnee+1)>>3
+	}
+	return uint32(s)
+}
+
+// EchoWetImage returns the dual-tap mixer custom instruction.
+func EchoWetImage() *core.Image {
+	return core.NewBehaviouralImage(core.BehaviouralSpec{
+		Name:       "echowet",
+		Spec:       fabric.DefaultPFUSpec,
+		StateWords: 1,
+		Step: func(st []uint32, a, b uint32, init bool) (uint32, bool) {
+			if init {
+				st[0] = 1
+			} else {
+				st[0]++
+			}
+			return EchoWet(a, b), st[0] >= echoWetLat
+		},
+	})
+}
+
+// EchoMixImage returns the mix/soft-clip custom instruction.
+func EchoMixImage() *core.Image {
+	return core.NewBehaviouralImage(core.BehaviouralSpec{
+		Name:       "echomix",
+		Spec:       fabric.DefaultPFUSpec,
+		StateWords: 1,
+		Step: func(st []uint32, a, b uint32, init bool) (uint32, bool) {
+			if init {
+				st[0] = 1
+			} else {
+				st[0]++
+			}
+			return EchoMix(a, b), st[0] >= echoMixLat
+		},
+	})
+}
+
+// echoExpected mirrors the ARM program exactly.
+func echoExpected(items int) uint32 {
+	var delay [echoDelay]uint16
+	x := uint32(lcgSeed)
+	var sum uint32
+	for i := 0; i < items; i++ {
+		x = lcgNext(x)
+		idx := i & (echoDelay - 1)
+		d1 := uint32(delay[idx])
+		d2 := uint32(delay[(idx+echoTapSkew)&(echoDelay-1)])
+		taps := d1 | d2<<16
+		wet := EchoWet(taps, echoGains)
+		dry := x >> 16
+		out := EchoMix(dry, wet)
+		delay[idx] = uint16(out)
+		sum = checksum(sum, out&0xFFFF)
+	}
+	return sum
+}
+
+// echoWetCore computes wet from r0=taps, r1=gains into r8; clobbers r2,r3.
+const echoWetCore = `
+	mov r2, r0, lsl #16
+	mov r2, r2, asr #16        ; d1
+	mov r3, r1, lsl #16
+	mov r3, r3, asr #16        ; g1
+	mul r8, r2, r3
+	mov r2, r0, asr #16        ; d2
+	mov r3, r1, asr #16        ; g2
+	mul r3, r2, r3
+	add r8, r8, r3
+	mov r8, r8, asr #15
+`
+
+// echoMixCore computes the soft-clipped mix from r0=dry, r1=wet into r8;
+// clobbers r2,r3.
+const echoMixCore = `
+	mov r0, r0, lsl #16
+	mov r0, r0, asr #16
+	mov r1, r1, lsl #16
+	mov r1, r1, asr #16
+	add r8, r0, r1
+	mov r2, #0x5F00
+	orr r2, r2, #0xFF          ; knee = 24575
+	cmp r8, r2
+	subgt r3, r8, r2
+	addgt r8, r2, r3, asr #3
+	cmn r8, #0x6000
+	addlt r3, r8, #0x6000
+	movlt r8, #0x6000
+	rsblt r8, r8, #0           ; -24576
+	addlt r8, r8, r3, asr #3
+`
+
+// BuildEcho constructs the echo app processing `items` samples.
+func BuildEcho(items int, mode Mode) (*App, error) {
+	if items <= 0 {
+		return nil, fmt.Errorf("workload: echo needs items > 0")
+	}
+	prologue := fmt.Sprintf(`
+	ldr r6, =%d
+	ldr r7, =%#x
+	ldr r11, =%d
+	ldr r12, =%d
+	adr r9, delay
+	mov r10, #%d
+	mov r4, #0
+	mov r5, #0
+`, items, lcgSeed, lcgMul, lcgAdd, echoDelay-1)
+	sampleCommon := `
+	mul r0, r7, r11
+	add r7, r0, r12            ; next sample via LCG
+	and r1, r4, r10            ; idx
+	mov r2, r1, lsl #1
+	ldrh r3, [r9, r2]          ; d1
+	add r2, r1, #` + fmt.Sprint(echoTapSkew) + `
+	and r2, r2, r10
+	mov r2, r2, lsl #1
+	ldrh r8, [r9, r2]          ; d2
+	orr r3, r3, r8, lsl #16    ; packed taps
+`
+	epilogue := `
+	and r1, r4, r10
+	mov r1, r1, lsl #1
+	strh r8, [r9, r1]          ; feedback into the delay line
+	mov r0, r8, lsl #16
+	mov r0, r0, lsr #16
+	add r5, r0, r5, ror #1     ; checksum
+	add r4, r4, #1
+	cmp r4, r6
+	bne loop
+	mov r0, r5
+	swi 0
+`
+	dataTail := `
+delay:
+	.space ` + fmt.Sprint(2*echoDelay) + `
+`
+	var src string
+	var images []*core.Image
+	switch mode {
+	case ModeHW, ModeHWOnly:
+		images = []*core.Image{EchoWetImage(), EchoMixImage()}
+		wetSoft, mixSoft := "0", "0"
+		tail := ""
+		if mode == ModeHW {
+			wetSoft, mixSoft = "echo_wet_alt", "echo_mix_alt"
+			tail = `
+echo_wet_alt:
+	mrc p1, 1, r0, c0, c0
+	mrc p1, 1, r1, c1, c0
+` + echoWetCore + `
+	mcr p1, 1, r8, c2, c0
+	mov pc, lr
+
+echo_mix_alt:
+	mrc p1, 1, r0, c0, c0
+	mrc p1, 1, r1, c1, c0
+` + echoMixCore + `
+	mcr p1, 1, r8, c2, c0
+	mov pc, lr
+`
+		}
+		src = `
+	adr r0, desc1
+	swi 3
+	adr r0, desc2
+	swi 3
+` + prologue + `
+	ldr r0, =` + fmt.Sprintf("%#x", uint32(echoGains)) + `
+	mcr p1, 0, r0, c1, c0      ; gains live in RFU r1 for the whole run
+loop:
+` + sampleCommon + `
+	mcr p1, 0, r3, c0, c0      ; taps
+	mov r0, r7, lsr #16        ; dry
+	mcr p1, 0, r0, c3, c0      ; park dry before any soft dispatch clobbers r0
+	cdp p1, ` + fmt.Sprint(echoWetCID) + `, c2, c0, c1
+	cdp p1, ` + fmt.Sprint(echoMixCID) + `, c4, c3, c2
+	mrc p1, 0, r8, c4, c0
+` + epilogue + tail + `
+desc1:
+	.word ` + fmt.Sprint(echoWetCID) + `, 0, ` + wetSoft + `
+desc2:
+	.word ` + fmt.Sprint(echoMixCID) + `, 1, ` + mixSoft + `
+` + dataTail
+	case ModeBaseline:
+		src = prologue + `
+loop:
+` + sampleCommon + `
+	mov r0, r3
+	ldr r1, =` + fmt.Sprintf("%#x", uint32(echoGains)) + `
+	bl echo_wet_fn
+	mov r1, r8
+	mov r0, r7, lsr #16
+	bl echo_mix_fn
+` + epilogue + `
+; The unaccelerated build models straightforwardly compiled code: every
+; intermediate is spilled through a stack frame, mirroring what the
+; alpha baseline does (the software ALTERNATIVES stay hand-optimised —
+; they are what an application author tunes, per §2).
+echo_wet_fn:
+	push {r4-r7, lr}
+	sub sp, sp, #16
+	str r0, [sp]
+	str r1, [sp, #4]
+	ldr r0, [sp]
+	mov r2, r0, lsl #16
+	mov r2, r2, asr #16        ; d1
+	str r2, [sp, #8]
+	ldr r1, [sp, #4]
+	mov r3, r1, lsl #16
+	mov r3, r3, asr #16        ; g1
+	ldr r2, [sp, #8]
+	mul r8, r2, r3
+	str r8, [sp, #12]
+	ldr r0, [sp]
+	mov r2, r0, asr #16        ; d2
+	ldr r1, [sp, #4]
+	mov r3, r1, asr #16        ; g2
+	mul r4, r2, r3
+	ldr r8, [sp, #12]
+	add r8, r8, r4
+	mov r8, r8, asr #15
+	add sp, sp, #16
+	pop {r4-r7, pc}
+
+echo_mix_fn:
+	push {r4-r7, lr}
+	sub sp, sp, #12
+	str r0, [sp]
+	str r1, [sp, #4]
+	ldr r0, [sp]
+	mov r0, r0, lsl #16
+	mov r0, r0, asr #16
+	ldr r1, [sp, #4]
+	mov r1, r1, lsl #16
+	mov r1, r1, asr #16
+	add r8, r0, r1
+	str r8, [sp, #8]
+	mov r2, #0x5F00
+	orr r2, r2, #0xFF          ; knee = 24575
+	ldr r8, [sp, #8]
+	cmp r8, r2
+	subgt r3, r8, r2
+	addgt r8, r2, r3, asr #3
+	str r8, [sp, #8]
+	ldr r8, [sp, #8]
+	cmn r8, #0x6000
+	addlt r3, r8, #0x6000
+	movlt r8, #0x6000
+	rsblt r8, r8, #0           ; -24576
+	addlt r8, r8, r3, asr #3
+	add sp, sp, #12
+	pop {r4-r7, pc}
+` + dataTail
+	default:
+		return nil, fmt.Errorf("workload: bad mode %v", mode)
+	}
+	return &App{
+		Name:     fmt.Sprintf("echo-%s", mode),
+		Source:   src,
+		Images:   images,
+		CIs:      2,
+		Expected: echoExpected(items),
+	}, nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+
+	"protean/internal/core"
+	"protean/internal/fabric"
+)
+
+// BuildLongOp constructs a synthetic application around a single
+// long-running custom instruction (out = a + b after `latency` cycles).
+// It exists for the §4.4 interrupt-latency experiment: instructions that
+// run for thousands of cycles are exactly the case where interruptibility
+// (vs. holding IRQs off until completion) matters.
+func BuildLongOp(latency uint32, items int) (*App, error) {
+	if items <= 0 || latency == 0 {
+		return nil, fmt.Errorf("workload: longop needs items > 0 and latency > 0")
+	}
+	img := core.NewBehaviouralImage(core.BehaviouralSpec{
+		Name:       fmt.Sprintf("longop%d", latency),
+		Spec:       fabric.DefaultPFUSpec,
+		StateWords: 1,
+		Step: func(st []uint32, a, b uint32, init bool) (uint32, bool) {
+			if init {
+				st[0] = 1
+			} else {
+				st[0]++
+			}
+			return a + b, st[0] >= latency
+		},
+	})
+	src := fmt.Sprintf(`
+	ldr r0, =desc
+	swi 3
+	ldr r6, =%d
+	mov r4, #0
+	mov r5, #0
+loop:
+	mcr p1, 0, r4, c0, c0
+	eor r7, r4, #5
+	mcr p1, 0, r7, c1, c0
+	cdp p1, 3, c2, c0, c1
+	mrc p1, 0, r8, c2, c0
+	add r5, r8, r5, ror #1
+	add r4, r4, #1
+	cmp r4, r6
+	bne loop
+	mov r0, r5
+	swi 0
+desc:
+	.word 3, 0, 0
+`, items)
+	var sum uint32
+	for i := uint32(0); i < uint32(items); i++ {
+		sum = checksum(sum, i+(i^5))
+	}
+	return &App{
+		Name:     fmt.Sprintf("longop%d", latency),
+		Source:   src,
+		Images:   []*core.Image{img},
+		CIs:      1,
+		Expected: sum,
+	}, nil
+}

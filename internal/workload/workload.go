@@ -1,0 +1,121 @@
+// Package workload implements the three test applications of the paper's
+// evaluation (§5.1): alpha blending image processing, twofish encryption
+// and audio echo processing. Each application exists in three builds:
+//
+//   - ModeHW: uses its custom instruction(s), registered together with a
+//     hand-optimised software alternative (§2) the OS may dispatch to;
+//   - ModeHWOnly: custom instructions without a software alternative;
+//   - ModeBaseline: the unaccelerated pure-software program the paper's
+//     "order of magnitude" comparison refers to.
+//
+// Applications are ARM programs; every mode of every app computes an
+// identical checksum over its outputs and exits with it, so the kernel
+// tests can verify that hardware, software-alternative and baseline builds
+// agree bit-for-bit with the Go model (Expected).
+//
+// Deterministic input data comes from an in-program LCG rather than large
+// data sections, keeping process images small while giving every work item
+// distinct operands.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"protean/internal/core"
+)
+
+// Mode selects an application build.
+type Mode int
+
+// Application builds.
+const (
+	ModeHW Mode = iota
+	ModeHWOnly
+	ModeBaseline
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHW:
+		return "hw"
+	case ModeHWOnly:
+		return "hw-nosoft"
+	case ModeBaseline:
+		return "baseline"
+	default:
+		return fmt.Sprintf("mode%d", int(m))
+	}
+}
+
+// App is one buildable application instance.
+type App struct {
+	// Name identifies the app and mode.
+	Name string
+	// Source is the ARM assembly, to be assembled at the process base.
+	Source string
+	// Images is the circuit table referenced by registration syscalls.
+	Images []*core.Image
+	// CIs is the number of distinct custom instructions the app uses (1
+	// for alpha and twofish, 2 for echo — §5.1).
+	CIs int
+	// Expected is the checksum the process must exit with.
+	Expected uint32
+}
+
+// Kind identifies one of the paper's applications.
+type Kind int
+
+// Applications.
+const (
+	Alpha Kind = iota
+	Twofish
+	Echo
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Alpha:
+		return "alpha"
+	case Twofish:
+		return "twofish"
+	case Echo:
+		return "echo"
+	default:
+		return fmt.Sprintf("app%d", int(k))
+	}
+}
+
+// Build constructs an application.
+func Build(kind Kind, items int, mode Mode) (*App, error) {
+	switch kind {
+	case Alpha:
+		return BuildAlpha(items, mode)
+	case Twofish:
+		return BuildTwofish(items, mode)
+	case Echo:
+		return BuildEcho(items, mode)
+	default:
+		return nil, fmt.Errorf("workload: unknown app %d", int(kind))
+	}
+}
+
+// Kinds lists the paper's three applications.
+var Kinds = []Kind{Alpha, Twofish, Echo}
+
+// LCG constants (Numerical Recipes), shared by the ARM programs and the Go
+// models.
+const (
+	lcgMul = 1664525
+	lcgAdd = 1013904223
+	// lcgSeed is the per-application starting state.
+	lcgSeed = 0x12345678
+)
+
+func lcgNext(x uint32) uint32 { return x*lcgMul + lcgAdd }
+
+// checksum mixes a result word into the running checksum exactly like the
+// ARM programs: sum = value + ror(sum, 1).
+func checksum(sum, value uint32) uint32 {
+	return value + bits.RotateLeft32(sum, -1)
+}

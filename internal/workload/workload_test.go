@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"protean/internal/asm"
+	"protean/internal/core"
+	"protean/internal/kernel"
+	"protean/internal/machine"
+)
+
+// runApps spawns the given apps on a fresh machine and runs to completion.
+// The tests use a wide configuration port (the experiments use the
+// realistic 1 byte/cycle) so unit-test workloads stay small.
+func runApps(t *testing.T, cfg kernel.Config, apps []*App, budget uint64) *kernel.Kernel {
+	t.Helper()
+	m := machine.New(machine.Config{ConfigBytesPerCycle: 16})
+	k := kernel.New(m, cfg)
+	for _, app := range apps {
+		prog, err := asm.Assemble(app.Source, k.NextBase())
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", app.Name, err)
+		}
+		if _, err := k.Spawn(app.Name, prog, app.Images); err != nil {
+			t.Fatalf("%s: spawn: %v", app.Name, err)
+		}
+	}
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// checkAll asserts every process exited with its app's expected checksum.
+func checkAll(t *testing.T, k *kernel.Kernel, apps []*App) {
+	t.Helper()
+	for i, p := range k.Processes() {
+		if p.State != kernel.ProcExited {
+			t.Fatalf("%s: state = %v (exit=%#x)", p.Name, p.State, p.ExitCode)
+		}
+		if p.ExitCode != apps[i].Expected {
+			t.Fatalf("%s: checksum = %#x, want %#x", p.Name, p.ExitCode, apps[i].Expected)
+		}
+	}
+}
+
+var testItems = map[Kind]int{Alpha: 60, Twofish: 8, Echo: 100}
+
+// TestEveryAppEveryMode is the big cross-check: all three applications in
+// all three builds produce the Go model's checksum on the full simulated
+// stack.
+func TestEveryAppEveryMode(t *testing.T) {
+	for _, kind := range Kinds {
+		for _, mode := range []Mode{ModeHW, ModeHWOnly, ModeBaseline} {
+			t.Run(fmt.Sprintf("%s-%s", kind, mode), func(t *testing.T) {
+				app, err := Build(kind, testItems[kind], mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := runApps(t, kernel.Config{Quantum: 200_000}, []*App{app}, 50_000_000)
+				checkAll(t, k, []*App{app})
+			})
+		}
+	}
+}
+
+// TestSoftwareDispatchProducesIdenticalResults forces contention so some
+// instances run on the software alternative, and checks checksums match.
+func TestSoftwareDispatchProducesIdenticalResults(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			items := map[Kind]int{Alpha: 500, Twofish: 60, Echo: 400}[kind]
+			var apps []*App
+			for i := 0; i < 5; i++ {
+				app, err := Build(kind, items, ModeHW)
+				if err != nil {
+					t.Fatal(err)
+				}
+				apps = append(apps, app)
+			}
+			k := runApps(t, kernel.Config{Quantum: 6_000, SoftDispatch: true}, apps, 400_000_000)
+			checkAll(t, k, apps)
+			if k.CIS.Stats.SoftMaps == 0 {
+				t.Error("contention never deferred to software")
+			}
+		})
+	}
+}
+
+// TestCircuitSwappingProducesIdenticalResults runs over-committed hardware
+// with circuit switching: evictions and state restores must not corrupt
+// results. Twofish is the hard case: its circuit holds a half-fed block
+// across swaps.
+func TestCircuitSwappingProducesIdenticalResults(t *testing.T) {
+	for _, kind := range Kinds {
+		for _, pol := range []kernel.PolicyKind{kernel.PolicyRoundRobin, kernel.PolicyRandom} {
+			t.Run(fmt.Sprintf("%s-%s", kind, pol), func(t *testing.T) {
+				items := map[Kind]int{Alpha: 800, Twofish: 100, Echo: 600}[kind]
+				var apps []*App
+				for i := 0; i < 5; i++ {
+					app, err := Build(kind, items, ModeHWOnly)
+					if err != nil {
+						t.Fatal(err)
+					}
+					apps = append(apps, app)
+				}
+				k := runApps(t, kernel.Config{Quantum: 6_000, Policy: pol, Seed: 42}, apps, 800_000_000)
+				checkAll(t, k, apps)
+				if k.CIS.Stats.Evictions == 0 {
+					t.Error("no evictions despite 5 processes on 4 PFUs")
+				}
+			})
+		}
+	}
+}
+
+// TestEchoSemantics pins the Q15 arithmetic at its edges.
+func TestEchoSemantics(t *testing.T) {
+	// Zero taps -> zero wet.
+	if EchoWet(0, echoGains) != 0 {
+		t.Error("wet(0) != 0")
+	}
+	// Full-scale taps with g1=0.5, g2=0.25: (16384*32767 + 8192*32767)>>15.
+	want := uint32((16384*32767 + 8192*32767) >> 15)
+	if got := EchoWet(0x7FFF7FFF, echoGains); got != want {
+		t.Errorf("wet(max) = %d, want %d", got, want)
+	}
+	// Negative taps sign-extend.
+	if got := int32(EchoWet(0x8000_8000, echoGains)); got >= 0 {
+		t.Errorf("wet(min) = %d, want negative", got)
+	}
+	// Mix below the knee is a plain add.
+	if got := EchoMix(100, 200); got != 300 {
+		t.Errorf("mix(100,200) = %d", got)
+	}
+	// Above the knee, slope drops to 1/8.
+	dry, wet := uint32(20000), uint32(20000)
+	s := int32(40000)
+	want2 := uint32(echoKnee + (s-echoKnee)>>3)
+	if got := EchoMix(dry, wet); got != want2 {
+		t.Errorf("mix over knee = %d, want %d", got, want2)
+	}
+	// Symmetric for negative.
+	minus20k := int32(-20000)
+	neg := EchoMix(uint32(minus20k)&0xFFFF, uint32(minus20k)&0xFFFF)
+	if int32(neg) != -(int32(want2) + 1) {
+		t.Errorf("negative knee asymmetric: %d vs %d", int32(neg), -(int32(want2) + 1))
+	}
+}
+
+// TestModelsAreDeterministic guards the expected-value functions.
+func TestModelsAreDeterministic(t *testing.T) {
+	for _, kind := range Kinds {
+		a1, err := Build(kind, 30, ModeHW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _ := Build(kind, 30, ModeHW)
+		if a1.Expected != a2.Expected {
+			t.Errorf("%v: nondeterministic expected value", kind)
+		}
+		b, _ := Build(kind, 30, ModeBaseline)
+		if b.Expected != a1.Expected {
+			t.Errorf("%v: baseline and HW models disagree", kind)
+		}
+		longer, _ := Build(kind, 31, ModeHW)
+		if longer.Expected == a1.Expected {
+			t.Errorf("%v: expected value ignores item count", kind)
+		}
+	}
+}
+
+// TestSpeedups measures the acceleration of each app and asserts hardware
+// wins by a sane margin; exact factors land in EXPERIMENTS.md.
+func TestSpeedups(t *testing.T) {
+	items := map[Kind]int{Alpha: 4000, Twofish: 400, Echo: 4000}
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			var cycles [2]uint64
+			for i, mode := range []Mode{ModeHW, ModeBaseline} {
+				app, err := Build(kind, items[kind], mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := runApps(t, kernel.Config{Quantum: 10_000_000}, []*App{app}, 500_000_000)
+				checkAll(t, k, []*App{app})
+				cycles[i] = k.Processes()[0].Stats.CompletionCycle
+			}
+			speedup := float64(cycles[1]) / float64(cycles[0])
+			t.Logf("%s: hw=%d baseline=%d speedup=%.2fx", kind, cycles[0], cycles[1], speedup)
+			if speedup < 1.5 {
+				t.Errorf("%s: speedup only %.2fx", kind, speedup)
+			}
+		})
+	}
+}
+
+// TestAppCIs checks the contention profile the paper depends on: alpha and
+// twofish use one circuit, echo uses two.
+func TestAppCIs(t *testing.T) {
+	for kind, want := range map[Kind]int{Alpha: 1, Twofish: 1, Echo: 2} {
+		app, err := Build(kind, 10, ModeHW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.CIs != want || len(app.Images) != want {
+			t.Errorf("%v: CIs=%d images=%d, want %d", kind, app.CIs, len(app.Images), want)
+		}
+	}
+}
+
+// TestBadItemCounts checks input validation.
+func TestBadItemCounts(t *testing.T) {
+	for _, kind := range Kinds {
+		if _, err := Build(kind, 0, ModeHW); err == nil {
+			t.Errorf("%v accepted 0 items", kind)
+		}
+	}
+}
+
+// TestGateLevelImageThroughKernel swaps the behavioural alpha circuit for
+// the real placed-and-routed bitstream and runs it through the whole OS
+// stack: dispatch, execution on the simulated CLB fabric, and (in the
+// contended variant) eviction with fabric state readback and restore. The
+// checksum must match the Go model exactly — the strongest whole-system
+// fidelity check in the suite.
+func TestGateLevelImageThroughKernel(t *testing.T) {
+	gate, err := AlphaGateImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("single", func(t *testing.T) {
+		app, err := BuildAlpha(40, ModeHWOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.Images = []*core.Image{gate}
+		k := runApps(t, kernel.Config{Quantum: 100_000}, []*App{app}, 20_000_000)
+		checkAll(t, k, []*App{app})
+	})
+	t.Run("contended", func(t *testing.T) {
+		var apps []*App
+		for i := 0; i < 5; i++ {
+			app, err := BuildAlpha(60, ModeHWOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app.Images = []*core.Image{gate}
+			apps = append(apps, app)
+		}
+		// A quantum short enough to force evictions mid-run.
+		k := runApps(t, kernel.Config{Quantum: 1500, Policy: kernel.PolicyRandom, Seed: 5}, apps, 100_000_000)
+		checkAll(t, k, apps)
+		if k.CIS.Stats.Evictions == 0 {
+			t.Error("gate-level contention run had no evictions")
+		}
+		if k.CIS.Stats.Restores == 0 {
+			t.Error("no fabric state restores exercised")
+		}
+	})
+}
+
+// TestLongOpWorkload validates the synthetic §4.4 app.
+func TestLongOpWorkload(t *testing.T) {
+	app, err := BuildLongOp(256, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := runApps(t, kernel.Config{Quantum: 2000}, []*App{app}, 50_000_000)
+	checkAll(t, k, []*App{app})
+	// With ~90% of runtime inside 256-cycle instructions and ~40 quanta,
+	// several must have been interrupted and resumed.
+	if k.M.RFU.Stats.Aborts == 0 {
+		t.Error("no aborted/resumed long instructions despite 256-cycle latency and 2000-cycle quantum")
+	}
+	if _, err := BuildLongOp(0, 10); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+// TestLCGAndChecksumHelpers pins the constants shared between the ARM
+// programs and the Go models.
+func TestLCGAndChecksumHelpers(t *testing.T) {
+	// First LCG step from the canonical seed.
+	seed := uint32(lcgSeed)
+	if got := lcgNext(seed); got != seed*1664525+1013904223 {
+		t.Errorf("lcgNext = %#x", got)
+	}
+	// Checksum is order-sensitive (ror mixing).
+	a := checksum(checksum(0, 1), 2)
+	b := checksum(checksum(0, 2), 1)
+	if a == b {
+		t.Error("checksum is order-insensitive; ARM/Go divergence would go unnoticed")
+	}
+	// Matches the ARM idiom add r5, rX, r5, ror #1 exactly.
+	if got := checksum(0x80000001, 0); got != 0xC0000000 {
+		t.Errorf("checksum(0x80000001, 0) = %#x, want 0xC0000000", got)
+	}
+}
