@@ -24,10 +24,10 @@ var benchScale = exp.Scale{Factor: 400}
 
 // BenchmarkFig2BasicScheduling regenerates Figure 2: completion time vs
 // concurrent instances for {echo, alpha, twofish} x {round robin, random}
-// x {10ms, 1ms}.
+// x {10ms, 1ms}, on the full GOMAXPROCS worker pool.
 func BenchmarkFig2BasicScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := exp.Figure2(benchScale, 1, nil)
+		fig, err := exp.Sweeper{Scale: benchScale, Seed: 1}.Figure2()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,11 +44,22 @@ func BenchmarkFig2BasicScheduling(b *testing.B) {
 	}
 }
 
+// BenchmarkFig2Serial regenerates Figure 2 with a single worker — the
+// baseline the parallel sweep engine is measured against. Compare its
+// wall time per op with BenchmarkFig2BasicScheduling.
+func BenchmarkFig2Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := (exp.Sweeper{Scale: benchScale, Seed: 1, Workers: 1}).Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig3SoftwareDispatch regenerates Figure 3: software dispatch vs
 // circuit switching for {echo, alpha} x {10ms, 1ms}.
 func BenchmarkFig3SoftwareDispatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := exp.Figure3(benchScale, 1, false, nil)
+		fig, err := exp.Sweeper{Scale: benchScale, Seed: 1}.Figure3(false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +75,7 @@ func BenchmarkFig3SoftwareDispatch(b *testing.B) {
 // its unaccelerated build.
 func BenchmarkClaimC5Speedups(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.SpeedupTable(benchScale, nil)
+		rows, err := exp.Sweeper{Scale: benchScale}.SpeedupTable()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +88,7 @@ func BenchmarkClaimC5Speedups(b *testing.B) {
 // BenchmarkAblationPolicies compares the four replacement policies (A1).
 func BenchmarkAblationPolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.PolicyAblation(benchScale, 1, nil); err != nil {
+		if _, err := (exp.Sweeper{Scale: benchScale, Seed: 1}).PolicyAblation(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +98,7 @@ func BenchmarkAblationPolicies(b *testing.B) {
 // configuration (A2).
 func BenchmarkAblationConfigSplit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := exp.ConfigSplitAblation(benchScale, 1, nil)
+		fig, err := exp.Sweeper{Scale: benchScale, Seed: 1}.ConfigSplitAblation()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +115,7 @@ func BenchmarkAblationConfigSplit(b *testing.B) {
 // BenchmarkAblationTLB measures dispatch-TLB pressure (A3).
 func BenchmarkAblationTLB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.TLBAblation(benchScale, 1, nil)
+		rows, err := exp.Sweeper{Scale: benchScale, Seed: 1}.TLBAblation()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +130,7 @@ func BenchmarkAblationTLB(b *testing.B) {
 // BenchmarkAblationQuantum sweeps the scheduling quantum (A4).
 func BenchmarkAblationQuantum(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.QuantumSweep(benchScale, 1, nil); err != nil {
+		if _, err := (exp.Sweeper{Scale: benchScale, Seed: 1}).QuantumSweep(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,7 +139,7 @@ func BenchmarkAblationQuantum(b *testing.B) {
 // BenchmarkAblationSharing measures circuit-instance sharing (A5).
 func BenchmarkAblationSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.SharingAblation(benchScale, 1, nil); err != nil {
+		if _, err := (exp.Sweeper{Scale: benchScale, Seed: 1}).SharingAblation(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	experiments [-fig 2|3|all] [-scale N] [-seed S] [-csv dir] [-quiet]
+//	experiments [-fig 2|3|all] [-scale N] [-seed S] [-workers N] [-csv dir] [-quiet]
 //
 // -scale divides the paper-size experiment (see internal/exp.Scale); the
 // default of 100 reproduces every figure in a couple of minutes. -scale 1
 // is the full-size run (~10^8–10^9 cycles per point).
+//
+// -workers sizes the sweep worker pool (default: GOMAXPROCS). Every sweep
+// cell is an independent simulation, so the figures are identical for any
+// worker count; only the ordering of per-run progress lines on stderr
+// changes, because cells report as they complete.
 package main
 
 import (
@@ -25,24 +30,33 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, ablations, claims, all")
 	scaleF := flag.Int("scale", 100, "scale divisor (1 = paper size)")
 	seed := flag.Int64("seed", 1, "seed for the random replacement policy")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write CSV files into")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress")
 	twofish3 := flag.Bool("fig3-twofish", false, "include the twofish series the paper omits from figure 3")
 	flag.Parse()
 
-	scale := exp.Scale{Factor: *scaleF}
-	var progress exp.Progress
+	sw := exp.Sweeper{
+		Scale:   exp.Scale{Factor: *scaleF},
+		Seed:    *seed,
+		Workers: *workers,
+	}
 	if !*quiet {
-		progress = os.Stderr
+		sw.Progress = os.Stderr
 	}
 
-	if err := run(*fig, scale, *seed, *csvDir, *twofish3, progress, os.Stdout); err != nil {
+	if err := run(*fig, sw, *csvDir, *twofish3, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool, progress exp.Progress, out io.Writer) error {
+func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writer) error {
+	switch which {
+	case "2", "3", "ablations", "claims", "all":
+	default:
+		return fmt.Errorf("unknown -fig %q (want 2, 3, ablations, claims or all)", which)
+	}
 	saveCSV := func(name string, f *exp.Figure) error {
 		if csvDir == "" {
 			return nil
@@ -57,7 +71,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 	var err error
 
 	if which == "2" || which == "all" || which == "claims" {
-		fig2, err = exp.Figure2(scale, seed, progress)
+		fig2, err = sw.Figure2()
 		if err != nil {
 			return err
 		}
@@ -68,7 +82,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 		}
 	}
 	if which == "3" || which == "all" || which == "claims" {
-		fig3, err = exp.Figure3(scale, seed, twofish3, progress)
+		fig3, err = sw.Figure3(twofish3)
 		if err != nil {
 			return err
 		}
@@ -80,7 +94,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 	}
 
 	if which == "all" || which == "claims" {
-		rows, err := exp.SpeedupTable(scale, progress)
+		rows, err := sw.SpeedupTable()
 		if err != nil {
 			return err
 		}
@@ -96,7 +110,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 	}
 
 	if which == "ablations" || which == "all" {
-		a1, err := exp.PolicyAblation(scale, seed, progress)
+		a1, err := sw.PolicyAblation()
 		if err != nil {
 			return err
 		}
@@ -105,7 +119,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 			return err
 		}
 
-		a2, err := exp.ConfigSplitAblation(scale, seed, progress)
+		a2, err := sw.ConfigSplitAblation()
 		if err != nil {
 			return err
 		}
@@ -114,7 +128,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 			return err
 		}
 
-		a3, err := exp.TLBAblation(scale, seed, progress)
+		a3, err := sw.TLBAblation()
 		if err != nil {
 			return err
 		}
@@ -125,13 +139,13 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 		}
 		fmt.Fprintln(out)
 
-		a4, err := exp.QuantumSweep(scale, seed, progress)
+		a4, err := sw.QuantumSweep()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, a4.Table())
 
-		a5, err := exp.SharingAblation(scale, seed, progress)
+		a5, err := sw.SharingAblation()
 		if err != nil {
 			return err
 		}
@@ -140,7 +154,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 			return err
 		}
 
-		a6, err := exp.PageInAblation(scale, seed, progress)
+		a6, err := sw.PageInAblation()
 		if err != nil {
 			return err
 		}
@@ -151,7 +165,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 		}
 		fmt.Fprintln(out)
 
-		a7, err := exp.InterruptLatencyAblation(scale, progress)
+		a7, err := sw.InterruptLatencyAblation()
 		if err != nil {
 			return err
 		}
@@ -162,7 +176,7 @@ func run(which string, scale exp.Scale, seed int64, csvDir string, twofish3 bool
 		}
 		fmt.Fprintln(out)
 
-		a8, err := exp.MixedWorkload(scale, seed, progress)
+		a8, err := sw.MixedWorkload()
 		if err != nil {
 			return err
 		}

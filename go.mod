@@ -1,0 +1,3 @@
+module protean
+
+go 1.24

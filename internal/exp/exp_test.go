@@ -145,7 +145,7 @@ func TestFigure2SmokeAndClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure sweep")
 	}
-	fig2, err := Figure2(testScale, 1, nil)
+	fig2, err := Sweeper{Scale: testScale, Seed: 1}.Figure2()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestFigure3SmokeAndClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure sweep")
 	}
-	fig3, err := Figure3(testScale, 1, false, nil)
+	fig3, err := Sweeper{Scale: testScale, Seed: 1}.Figure3(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestFigure3SmokeAndClaims(t *testing.T) {
 }
 
 func TestSpeedupTable(t *testing.T) {
-	rows, err := SpeedupTable(testScale, nil)
+	rows, err := Sweeper{Scale: testScale}.SpeedupTable()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestSpeedupTable(t *testing.T) {
 }
 
 func TestTLBAblation(t *testing.T) {
-	rows, err := TLBAblation(testScale, 1, nil)
+	rows, err := Sweeper{Scale: testScale, Seed: 1}.TLBAblation()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestSharingAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	fig, err := SharingAblation(testScale, 1, nil)
+	fig, err := Sweeper{Scale: testScale, Seed: 1}.SharingAblation()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestConfigSplitAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	fig, err := ConfigSplitAblation(Scale{Factor: 800}, 1, nil)
+	fig, err := Sweeper{Scale: Scale{Factor: 800}, Seed: 1}.ConfigSplitAblation()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestQuantumSweepMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	fig, err := QuantumSweep(testScale, 1, nil)
+	fig, err := Sweeper{Scale: testScale, Seed: 1}.QuantumSweep()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestPolicyAblationRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	fig, err := PolicyAblation(Scale{Factor: 800}, 1, nil)
+	fig, err := Sweeper{Scale: Scale{Factor: 800}, Seed: 1}.PolicyAblation()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestPolicyAblationRuns(t *testing.T) {
 var _ = kernel.PolicyLRU // imported for policy references in docs
 
 func TestPageInAblationShape(t *testing.T) {
-	rows, err := PageInAblation(testScale, 1, nil)
+	rows, err := Sweeper{Scale: testScale, Seed: 1}.PageInAblation()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func TestPageInAblationShape(t *testing.T) {
 }
 
 func TestInterruptLatencyAblation(t *testing.T) {
-	rows, err := InterruptLatencyAblation(testScale, nil)
+	rows, err := Sweeper{Scale: testScale}.InterruptLatencyAblation()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestMixedWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	fig, err := MixedWorkload(Scale{Factor: 800}, 1, nil)
+	fig, err := Sweeper{Scale: Scale{Factor: 800}, Seed: 1}.MixedWorkload()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,15 +405,15 @@ func TestAllClaimsPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full claim sweep")
 	}
-	fig2, err := Figure2(testScale, 1, nil)
+	fig2, err := Sweeper{Scale: testScale, Seed: 1}.Figure2()
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig3, err := Figure3(testScale, 1, false, nil)
+	fig3, err := Sweeper{Scale: testScale, Seed: 1}.Figure3(false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := SpeedupTable(testScale, nil)
+	rows, err := Sweeper{Scale: testScale}.SpeedupTable()
 	if err != nil {
 		t.Fatal(err)
 	}

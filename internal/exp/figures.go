@@ -31,12 +31,13 @@ const MaxInstances = 8
 // Figure2 reproduces the basic scheduling test: {echo, alpha, twofish} ×
 // {round robin, random} replacement × {10 ms, 1 ms} quanta, 1–8 instances,
 // completion time in cycles.
-func Figure2(scale Scale, seed int64, w Progress) (*Figure, error) {
+func (sw Sweeper) Figure2() (*Figure, error) {
 	fig := &Figure{
 		Title:  "Basic Scheduling Test (Figure 2)",
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
+	w := SyncProgress(sw.Progress)
 	apps := []workload.Kind{workload.Echo, workload.Alpha, workload.Twofish}
 	policies := []kernel.PolicyKind{kernel.PolicyRoundRobin, kernel.PolicyRandom}
 	quanta := []struct {
@@ -46,6 +47,7 @@ func Figure2(scale Scale, seed int64, w Progress) (*Figure, error) {
 		{"10ms", Quantum10ms},
 		{"1ms", Quantum1ms},
 	}
+	var rows []gridSeries
 	for _, app := range apps {
 		for _, pol := range policies {
 			polLabel := "Round Robin"
@@ -53,41 +55,40 @@ func Figure2(scale Scale, seed int64, w Progress) (*Figure, error) {
 				polLabel = "Random"
 			}
 			for _, q := range quanta {
-				s := Series{Label: fmt.Sprintf("%s, %s, %s", titleName(app), polLabel, q.label)}
-				for n := 1; n <= MaxInstances; n++ {
+				label := fmt.Sprintf("%s, %s, %s", titleName(app), polLabel, q.label)
+				rows = append(rows, gridSeries{label: label, run: func(n int) (uint64, error) {
 					res, err := Run(Scenario{
 						App:       app,
 						Mode:      workload.ModeHWOnly,
 						Instances: n,
-						Quantum:   scale.Quantum(q.cycles),
+						Quantum:   sw.Scale.Quantum(q.cycles),
 						Policy:    pol,
-						Seed:      seed,
-						Scale:     scale,
+						Seed:      sw.Seed,
+						Scale:     sw.Scale,
 					})
 					if err != nil {
-						return nil, fmt.Errorf("fig2 %s n=%d: %w", s.Label, n, err)
+						return 0, fmt.Errorf("fig2 %s n=%d: %w", label, n, err)
 					}
-					s.X = append(s.X, n)
-					s.Y = append(s.Y, res.Completion)
-					progressf(w, "fig2 %-28s n=%d  %12d cycles\n", s.Label, n, res.Completion)
-				}
-				fig.Series = append(fig.Series, s)
+					progressf(w, "fig2 %-28s n=%d  %12d cycles\n", label, n, res.Completion)
+					return res.Completion, nil
+				}})
 			}
 		}
 	}
-	return fig, nil
+	return sw.instanceGrid(fig, rows)
 }
 
 // Figure3 reproduces the software dispatch test: {echo, alpha} ×
 // {round-robin circuit switching, software dispatch} × {10 ms, 1 ms}.
 // The paper omits twofish ("follows a similar trend"); pass withTwofish to
 // generate it as an extra.
-func Figure3(scale Scale, seed int64, withTwofish bool, w Progress) (*Figure, error) {
+func (sw Sweeper) Figure3(withTwofish bool) (*Figure, error) {
 	fig := &Figure{
 		Title:  "Software Dispatch Test (Figure 3)",
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
+	w := SyncProgress(sw.Progress)
 	apps := []workload.Kind{workload.Echo, workload.Alpha}
 	if withTwofish {
 		apps = append(apps, workload.Twofish)
@@ -99,20 +100,22 @@ func Figure3(scale Scale, seed int64, withTwofish bool, w Progress) (*Figure, er
 		{"10ms", Quantum10ms},
 		{"1ms", Quantum1ms},
 	}
+	var rows []gridSeries
 	for _, app := range apps {
 		for _, variant := range []string{"Round Robin", "Soft"} {
 			for _, q := range quanta {
-				s := Series{Label: fmt.Sprintf("%s, %s, %s", titleName(app), variant, q.label)}
-				for n := 1; n <= MaxInstances; n++ {
+				label := fmt.Sprintf("%s, %s, %s", titleName(app), variant, q.label)
+				soft := variant == "Soft"
+				rows = append(rows, gridSeries{label: label, run: func(n int) (uint64, error) {
 					sc := Scenario{
 						App:       app,
 						Instances: n,
-						Quantum:   scale.Quantum(q.cycles),
+						Quantum:   sw.Scale.Quantum(q.cycles),
 						Policy:    kernel.PolicyRoundRobin,
-						Seed:      seed,
-						Scale:     scale,
+						Seed:      sw.Seed,
+						Scale:     sw.Scale,
 					}
-					if variant == "Soft" {
+					if soft {
 						sc.Mode = workload.ModeHW
 						sc.Soft = true
 					} else {
@@ -120,90 +123,86 @@ func Figure3(scale Scale, seed int64, withTwofish bool, w Progress) (*Figure, er
 					}
 					res, err := Run(sc)
 					if err != nil {
-						return nil, fmt.Errorf("fig3 %s n=%d: %w", s.Label, n, err)
+						return 0, fmt.Errorf("fig3 %s n=%d: %w", label, n, err)
 					}
-					s.X = append(s.X, n)
-					s.Y = append(s.Y, res.Completion)
-					progressf(w, "fig3 %-28s n=%d  %12d cycles\n", s.Label, n, res.Completion)
-				}
-				fig.Series = append(fig.Series, s)
+					progressf(w, "fig3 %-28s n=%d  %12d cycles\n", label, n, res.Completion)
+					return res.Completion, nil
+				}})
 			}
 		}
 	}
-	return fig, nil
+	return sw.instanceGrid(fig, rows)
 }
 
 // PolicyAblation (A1) compares all four replacement policies — the paper's
 // round robin and random plus the LRU and second chance that §4.5's usage
 // counters enable — on the alpha workload at the 1 ms quantum.
-func PolicyAblation(scale Scale, seed int64, w Progress) (*Figure, error) {
+func (sw Sweeper) PolicyAblation() (*Figure, error) {
 	fig := &Figure{
 		Title:  "A1: replacement policies (alpha, 1ms quantum)",
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
+	w := SyncProgress(sw.Progress)
+	var rows []gridSeries
 	for _, pol := range []kernel.PolicyKind{
 		kernel.PolicyRoundRobin, kernel.PolicyRandom, kernel.PolicyLRU, kernel.PolicySecondChance,
 	} {
-		s := Series{Label: pol.String()}
-		for n := 1; n <= MaxInstances; n++ {
+		rows = append(rows, gridSeries{label: pol.String(), run: func(n int) (uint64, error) {
 			res, err := Run(Scenario{
 				App:       workload.Alpha,
 				Mode:      workload.ModeHWOnly,
 				Instances: n,
-				Quantum:   scale.Quantum(Quantum1ms),
+				Quantum:   sw.Scale.Quantum(Quantum1ms),
 				Policy:    pol,
-				Seed:      seed,
-				Scale:     scale,
+				Seed:      sw.Seed,
+				Scale:     sw.Scale,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("A1 %s n=%d: %w", pol, n, err)
+				return 0, fmt.Errorf("A1 %s n=%d: %w", pol, n, err)
 			}
-			s.X = append(s.X, n)
-			s.Y = append(s.Y, res.Completion)
 			progressf(w, "A1 %-14s n=%d  %12d cycles\n", pol, n, res.Completion)
-		}
-		fig.Series = append(fig.Series, s)
+			return res.Completion, nil
+		}})
 	}
-	return fig, nil
+	return sw.instanceGrid(fig, rows)
 }
 
 // ConfigSplitAblation (A2) measures what the §4.1 split configuration buys
 // by comparing normal swaps (state frames only) against full-image
-// readback, on the thrash-prone echo workload at 1 ms.
-func ConfigSplitAblation(scale Scale, seed int64, w Progress) (*Figure, error) {
+// readback, on the thrash-prone echo workload at 10 ms.
+func (sw Sweeper) ConfigSplitAblation() (*Figure, error) {
 	fig := &Figure{
 		Title:  "A2: split vs full-readback configuration (echo, 10ms quantum)",
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
+	w := SyncProgress(sw.Progress)
+	var rows []gridSeries
 	for _, full := range []bool{false, true} {
 		label := "split (state frames)"
 		if full {
 			label = "full readback"
 		}
-		s := Series{Label: label}
-		for n := 1; n <= MaxInstances; n++ {
+		rows = append(rows, gridSeries{label: label, run: func(n int) (uint64, error) {
 			res, err := Run(Scenario{
 				App:          workload.Echo,
 				Mode:         workload.ModeHWOnly,
 				Instances:    n,
-				Quantum:      scale.Quantum(Quantum10ms),
+				Quantum:      sw.Scale.Quantum(Quantum10ms),
 				Policy:       kernel.PolicyRoundRobin,
-				Seed:         seed,
-				Scale:        scale,
+				Seed:         sw.Seed,
+				Scale:        sw.Scale,
 				FullReadback: full,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("A2 %s n=%d: %w", label, n, err)
+				return 0, fmt.Errorf("A2 %s n=%d: %w", label, n, err)
 			}
-			s.X = append(s.X, n)
-			s.Y = append(s.Y, res.Completion)
 			progressf(w, "A2 %-22s n=%d  %12d cycles\n", label, n, res.Completion)
-		}
-		fig.Series = append(fig.Series, s)
+			return res.Completion, nil
+		}})
 	}
-	return fig, nil
+	return sw.instanceGrid(fig, rows)
 }
 
 // TLBStats is one row of the A3 TLB-pressure ablation.
@@ -218,43 +217,47 @@ type TLBStats struct {
 // TLBs: with fewer CAM entries than live tuples, resident circuits fault
 // purely on lost mappings, which the CIS must repair without reloading
 // hardware (§4.2).
-func TLBAblation(scale Scale, seed int64, w Progress) ([]TLBStats, error) {
-	var out []TLBStats
+func (sw Sweeper) TLBAblation() ([]TLBStats, error) {
+	w := SyncProgress(sw.Progress)
+	var cells []func() (TLBStats, error)
 	for _, entries := range []int{2, 3, 4, 8, 16} {
-		res, err := Run(Scenario{
-			App:         workload.Alpha,
-			Mode:        workload.ModeHWOnly,
-			Instances:   4, // exactly fills the PFUs: every fault beyond load is a mapping fault
-			Quantum:     scale.Quantum(Quantum10ms),
-			Policy:      kernel.PolicyRoundRobin,
-			Seed:        seed,
-			Scale:       scale,
-			TLB1Entries: entries,
+		cells = append(cells, func() (TLBStats, error) {
+			res, err := Run(Scenario{
+				App:         workload.Alpha,
+				Mode:        workload.ModeHWOnly,
+				Instances:   4, // exactly fills the PFUs: every fault beyond load is a mapping fault
+				Quantum:     sw.Scale.Quantum(Quantum10ms),
+				Policy:      kernel.PolicyRoundRobin,
+				Seed:        sw.Seed,
+				Scale:       sw.Scale,
+				TLB1Entries: entries,
+			})
+			if err != nil {
+				return TLBStats{}, fmt.Errorf("A3 entries=%d: %w", entries, err)
+			}
+			progressf(w, "A3 tlb=%2d  mapping-faults=%6d loads=%4d completion=%d\n",
+				entries, res.CIS.MappingFaults, res.CIS.Loads, res.Completion)
+			return TLBStats{
+				Entries:       entries,
+				MappingFaults: res.CIS.MappingFaults,
+				Loads:         res.CIS.Loads,
+				Completion:    res.Completion,
+			}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("A3 entries=%d: %w", entries, err)
-		}
-		out = append(out, TLBStats{
-			Entries:       entries,
-			MappingFaults: res.CIS.MappingFaults,
-			Loads:         res.CIS.Loads,
-			Completion:    res.Completion,
-		})
-		progressf(w, "A3 tlb=%2d  mapping-faults=%6d loads=%4d completion=%d\n",
-			entries, res.CIS.MappingFaults, res.CIS.Loads, res.Completion)
 	}
-	return out, nil
+	return Sweep(sw.Workers, cells)
 }
 
 // QuantumSweep (A4) sweeps the scheduling quantum for six contending alpha
 // instances, covering the paper's 10 ms and 1 ms plus the 100 ms
 // Windows NT / BSD batch quantum of the §5.1.3 discussion.
-func QuantumSweep(scale Scale, seed int64, w Progress) (*Figure, error) {
+func (sw Sweeper) QuantumSweep() (*Figure, error) {
 	fig := &Figure{
 		Title:  "A4: quantum sweep (alpha, 6 instances, round robin)",
 		XLabel: "Quantum index (100ms, 10ms, 5ms, 2ms, 1ms)",
 		YLabel: "Completion time in clock cycles",
 	}
+	w := SyncProgress(sw.Progress)
 	quanta := []struct {
 		label  string
 		cycles uint32
@@ -265,23 +268,33 @@ func QuantumSweep(scale Scale, seed int64, w Progress) (*Figure, error) {
 		{"2ms", 200_000},
 		{"1ms", Quantum1ms},
 	}
-	s := Series{Label: "alpha, 6 instances"}
-	for i, q := range quanta {
-		res, err := Run(Scenario{
-			App:       workload.Alpha,
-			Mode:      workload.ModeHWOnly,
-			Instances: 6,
-			Quantum:   scale.Quantum(q.cycles),
-			Policy:    kernel.PolicyRoundRobin,
-			Seed:      seed,
-			Scale:     scale,
+	var cells []func() (uint64, error)
+	for _, q := range quanta {
+		cells = append(cells, func() (uint64, error) {
+			res, err := Run(Scenario{
+				App:       workload.Alpha,
+				Mode:      workload.ModeHWOnly,
+				Instances: 6,
+				Quantum:   sw.Scale.Quantum(q.cycles),
+				Policy:    kernel.PolicyRoundRobin,
+				Seed:      sw.Seed,
+				Scale:     sw.Scale,
+			})
+			if err != nil {
+				return 0, fmt.Errorf("A4 %s: %w", q.label, err)
+			}
+			progressf(w, "A4 q=%-6s  %12d cycles\n", q.label, res.Completion)
+			return res.Completion, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("A4 %s: %w", q.label, err)
-		}
+	}
+	ys, err := Sweep(sw.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Label: "alpha, 6 instances"}
+	for i, y := range ys {
 		s.X = append(s.X, i)
-		s.Y = append(s.Y, res.Completion)
-		progressf(w, "A4 q=%-6s  %12d cycles\n", q.label, res.Completion)
+		s.Y = append(s.Y, y)
 	}
 	fig.Series = append(fig.Series, s)
 	return fig, nil
@@ -291,39 +304,38 @@ func QuantumSweep(scale Scale, seed int64, w Progress) (*Figure, error) {
 // §5.1 says the final system would have — for identical alpha instances:
 // one configuration load serves every process, removing contention
 // entirely.
-func SharingAblation(scale Scale, seed int64, w Progress) (*Figure, error) {
+func (sw Sweeper) SharingAblation() (*Figure, error) {
 	fig := &Figure{
 		Title:  "A5: instance sharing (alpha, 1ms quantum)",
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
+	w := SyncProgress(sw.Progress)
+	var rows []gridSeries
 	for _, sharing := range []bool{false, true} {
 		label := "no sharing (paper's runs)"
 		if sharing {
 			label = "sharing enabled"
 		}
-		s := Series{Label: label}
-		for n := 1; n <= MaxInstances; n++ {
+		rows = append(rows, gridSeries{label: label, run: func(n int) (uint64, error) {
 			res, err := Run(Scenario{
 				App:       workload.Alpha,
 				Mode:      workload.ModeHWOnly,
 				Instances: n,
-				Quantum:   scale.Quantum(Quantum1ms),
+				Quantum:   sw.Scale.Quantum(Quantum1ms),
 				Policy:    kernel.PolicyRoundRobin,
-				Seed:      seed,
-				Scale:     scale,
+				Seed:      sw.Seed,
+				Scale:     sw.Scale,
 				Sharing:   sharing,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("A5 %s n=%d: %w", label, n, err)
+				return 0, fmt.Errorf("A5 %s n=%d: %w", label, n, err)
 			}
-			s.X = append(s.X, n)
-			s.Y = append(s.Y, res.Completion)
 			progressf(w, "A5 %-26s n=%d  %12d cycles\n", label, n, res.Completion)
-		}
-		fig.Series = append(fig.Series, s)
+			return res.Completion, nil
+		}})
 	}
-	return fig, nil
+	return sw.instanceGrid(fig, rows)
 }
 
 // SpeedupRow is one row of the C5 acceleration table.
@@ -336,27 +348,37 @@ type SpeedupRow struct {
 
 // SpeedupTable (C5) measures each application's acceleration over its
 // unaccelerated build, single instance, no contention.
-func SpeedupTable(scale Scale, w Progress) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
+func (sw Sweeper) SpeedupTable() ([]SpeedupRow, error) {
+	w := SyncProgress(sw.Progress)
+	modes := []workload.Mode{workload.ModeHW, workload.ModeBaseline}
+	var cells []func() (uint64, error)
 	for _, app := range workload.Kinds {
-		var cyc [2]uint64
-		for i, mode := range []workload.Mode{workload.ModeHW, workload.ModeBaseline} {
-			res, err := Run(Scenario{
-				App:       app,
-				Mode:      mode,
-				Instances: 1,
-				Quantum:   scale.Quantum(Quantum10ms),
-				Scale:     scale,
+		for _, mode := range modes {
+			cells = append(cells, func() (uint64, error) {
+				res, err := Run(Scenario{
+					App:       app,
+					Mode:      mode,
+					Instances: 1,
+					Quantum:   sw.Scale.Quantum(Quantum10ms),
+					Scale:     sw.Scale,
+				})
+				if err != nil {
+					return 0, fmt.Errorf("C5 %s %s: %w", app, mode, err)
+				}
+				progressf(w, "C5 %-8s %-9s %12d cycles\n", app, mode, res.Completion)
+				return res.Completion, nil
 			})
-			if err != nil {
-				return nil, fmt.Errorf("C5 %s %s: %w", app, mode, err)
-			}
-			cyc[i] = res.Completion
 		}
-		row := SpeedupRow{App: app, HW: cyc[0], Baseline: cyc[1],
-			Speedup: float64(cyc[1]) / float64(cyc[0])}
-		rows = append(rows, row)
-		progressf(w, "C5 %-8s hw=%d baseline=%d speedup=%.2fx\n", app, row.HW, row.Baseline, row.Speedup)
+	}
+	ys, err := Sweep(sw.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpeedupRow
+	for i, app := range workload.Kinds {
+		hw, base := ys[i*2], ys[i*2+1]
+		rows = append(rows, SpeedupRow{App: app, HW: hw, Baseline: base,
+			Speedup: float64(base) / float64(hw)})
 	}
 	return rows, nil
 }
@@ -386,38 +408,44 @@ type PageInRow struct {
 // Six alpha instances at the 10 ms quantum — the regime where plain
 // circuit switching beat software dispatch in Figure 3 — sweeping the
 // page-in cost from zero (the paper's runs) to a 5 ms disk access.
-func PageInAblation(scale Scale, seed int64, w Progress) ([]PageInRow, error) {
-	var out []PageInRow
-	for _, pageIn := range []uint32{0, 100_000, 500_000} {
-		row := PageInRow{PageInCycles: pageIn}
+func (sw Sweeper) PageInAblation() ([]PageInRow, error) {
+	w := SyncProgress(sw.Progress)
+	pageIns := []uint32{0, 100_000, 500_000}
+	var cells []func() (uint64, error)
+	for _, pageIn := range pageIns {
 		for _, soft := range []bool{false, true} {
-			sc := Scenario{
-				App:          workload.Alpha,
-				Instances:    6,
-				Quantum:      scale.Quantum(Quantum10ms),
-				Policy:       kernel.PolicyRoundRobin,
-				Seed:         seed,
-				Scale:        scale,
-				PageInCycles: pageIn,
-			}
-			if soft {
-				sc.Mode = workload.ModeHW
-				sc.Soft = true
-			} else {
-				sc.Mode = workload.ModeHWOnly
-			}
-			res, err := Run(sc)
-			if err != nil {
-				return nil, fmt.Errorf("A6 pagein=%d soft=%v: %w", pageIn, soft, err)
-			}
-			if soft {
-				row.Soft = res.Completion
-			} else {
-				row.Switching = res.Completion
-			}
+			cells = append(cells, func() (uint64, error) {
+				sc := Scenario{
+					App:          workload.Alpha,
+					Instances:    6,
+					Quantum:      sw.Scale.Quantum(Quantum10ms),
+					Policy:       kernel.PolicyRoundRobin,
+					Seed:         sw.Seed,
+					Scale:        sw.Scale,
+					PageInCycles: pageIn,
+				}
+				if soft {
+					sc.Mode = workload.ModeHW
+					sc.Soft = true
+				} else {
+					sc.Mode = workload.ModeHWOnly
+				}
+				res, err := Run(sc)
+				if err != nil {
+					return 0, fmt.Errorf("A6 pagein=%d soft=%v: %w", pageIn, soft, err)
+				}
+				progressf(w, "A6 pagein=%-7d soft=%-5v %12d cycles\n", pageIn, soft, res.Completion)
+				return res.Completion, nil
+			})
 		}
-		progressf(w, "A6 pagein=%-7d switching=%-12d soft=%d\n", pageIn, row.Switching, row.Soft)
-		out = append(out, row)
+	}
+	ys, err := Sweep(sw.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []PageInRow
+	for i, pageIn := range pageIns {
+		out = append(out, PageInRow{PageInCycles: pageIn, Switching: ys[i*2], Soft: ys[i*2+1]})
 	}
 	return out, nil
 }
@@ -435,49 +463,54 @@ type LatencyRow struct {
 // application issues instructions of increasing latency; the maximum
 // timer-IRQ service latency is recorded with and without the
 // interruptible-instruction mechanism.
-func InterruptLatencyAblation(scale Scale, w Progress) ([]LatencyRow, error) {
-	var out []LatencyRow
-	for _, lat := range []uint32{16, 256, 4096} {
-		row := LatencyRow{InstrCycles: lat}
+func (sw Sweeper) InterruptLatencyAblation() ([]LatencyRow, error) {
+	w := SyncProgress(sw.Progress)
+	lats := []uint32{16, 256, 4096}
+	var cells []func() (uint64, error)
+	for _, lat := range lats {
 		for _, atomic := range []bool{true, false} {
-			// Enough items that many quanta elapse mid-instruction.
-			items := 400_000 / int(lat)
-			app, err := workload.BuildLongOp(lat, items)
-			if err != nil {
-				return nil, err
-			}
-			m := machine.New(machine.Config{ConfigBytesPerCycle: scale.ConfigBytesPerCycle()})
-			k := kernel.New(m, kernel.Config{
-				Quantum:   scale.Quantum(Quantum1ms),
-				Costs:     scale.Costs(),
-				AtomicCDP: atomic,
+			cells = append(cells, func() (uint64, error) {
+				// Enough items that many quanta elapse mid-instruction.
+				items := 400_000 / int(lat)
+				app, err := workload.BuildLongOp(lat, items)
+				if err != nil {
+					return 0, err
+				}
+				m := machine.New(machine.Config{ConfigBytesPerCycle: sw.Scale.ConfigBytesPerCycle()})
+				k := kernel.New(m, kernel.Config{
+					Quantum:   sw.Scale.Quantum(Quantum1ms),
+					Costs:     sw.Scale.Costs(),
+					AtomicCDP: atomic,
+				})
+				prog, err := asm.Assemble(app.Source, k.NextBase())
+				if err != nil {
+					return 0, err
+				}
+				p, err := k.Spawn(app.Name, prog, app.Images)
+				if err != nil {
+					return 0, err
+				}
+				if err := k.Start(); err != nil {
+					return 0, err
+				}
+				if err := k.Run(1 << 34); err != nil {
+					return 0, fmt.Errorf("A7 lat=%d atomic=%v: %w", lat, atomic, err)
+				}
+				if p.ExitCode != app.Expected {
+					return 0, fmt.Errorf("A7 lat=%d atomic=%v: checksum mismatch", lat, atomic)
+				}
+				progressf(w, "A7 instr=%-5d atomic=%-5v max-irq-latency=%d\n", lat, atomic, k.Stats.MaxIRQLatency)
+				return k.Stats.MaxIRQLatency, nil
 			})
-			prog, err := asm.Assemble(app.Source, k.NextBase())
-			if err != nil {
-				return nil, err
-			}
-			p, err := k.Spawn(app.Name, prog, app.Images)
-			if err != nil {
-				return nil, err
-			}
-			if err := k.Start(); err != nil {
-				return nil, err
-			}
-			if err := k.Run(1 << 34); err != nil {
-				return nil, fmt.Errorf("A7 lat=%d atomic=%v: %w", lat, atomic, err)
-			}
-			if p.ExitCode != app.Expected {
-				return nil, fmt.Errorf("A7 lat=%d atomic=%v: checksum mismatch", lat, atomic)
-			}
-			if atomic {
-				row.Atomic = k.Stats.MaxIRQLatency
-			} else {
-				row.Interrupt = k.Stats.MaxIRQLatency
-			}
 		}
-		progressf(w, "A7 instr=%-5d atomic-max-latency=%-8d interruptible-max-latency=%d\n",
-			lat, row.Atomic, row.Interrupt)
-		out = append(out, row)
+	}
+	ys, err := Sweep(sw.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []LatencyRow
+	for i, lat := range lats {
+		out = append(out, LatencyRow{InstrCycles: lat, Atomic: ys[i*2], Interrupt: ys[i*2+1]})
 	}
 	return out, nil
 }
@@ -488,29 +521,28 @@ func InterruptLatencyAblation(scale Scale, w Progress) ([]LatencyRow, error) {
 // {alpha, twofish, echo}, giving heterogeneous circuit counts, latencies
 // and reuse patterns. On such skewed loads the usage-counter policies of
 // §4.5 finally get signal to work with.
-func MixedWorkload(scale Scale, seed int64, w Progress) (*Figure, error) {
+func (sw Sweeper) MixedWorkload() (*Figure, error) {
 	fig := &Figure{
 		Title:  "A8: mixed workload (alpha+twofish+echo rotation, 1ms quantum)",
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
+	w := SyncProgress(sw.Progress)
 	rotation := []workload.Kind{workload.Alpha, workload.Twofish, workload.Echo}
+	var rows []gridSeries
 	for _, pol := range []kernel.PolicyKind{
 		kernel.PolicyRoundRobin, kernel.PolicyRandom, kernel.PolicyLRU, kernel.PolicySecondChance,
 	} {
-		s := Series{Label: pol.String()}
-		for n := 1; n <= MaxInstances; n++ {
-			res, err := runMix(rotation, n, scale, pol, seed)
+		rows = append(rows, gridSeries{label: pol.String(), run: func(n int) (uint64, error) {
+			res, err := runMix(rotation, n, sw.Scale, pol, sw.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("A8 %s n=%d: %w", pol, n, err)
+				return 0, fmt.Errorf("A8 %s n=%d: %w", pol, n, err)
 			}
-			s.X = append(s.X, n)
-			s.Y = append(s.Y, res)
 			progressf(w, "A8 %-14s n=%d  %12d cycles\n", pol, n, res)
-		}
-		fig.Series = append(fig.Series, s)
+			return res, nil
+		}})
 	}
-	return fig, nil
+	return sw.instanceGrid(fig, rows)
 }
 
 // runMix runs n instances rotating through the given kinds and returns the

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweeper carries sweep-wide configuration for the figure generators.
+// Every figure enumerates its independent cells (app × policy × quantum ×
+// instances), runs them on a pool of Workers goroutines, and merges the
+// results in cell order, so parallel output is identical to serial output:
+// each cell constructs its own machine, kernel and seeded rand source, and
+// nothing is shared between cells but the result slot it writes.
+type Sweeper struct {
+	Scale Scale
+	Seed  int64
+	// Workers sizes the pool; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Progress receives per-run progress lines. Writes are serialized
+	// through a mutex, but under Workers > 1 lines arrive in completion
+	// order, not cell order.
+	Progress Progress
+}
+
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// lockedWriter serializes concurrent progress writes so lines from
+// parallel cells never interleave mid-line.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// SyncProgress wraps w so concurrent cells can share it safely. A nil
+// writer stays nil and an already-wrapped writer is returned unchanged.
+func SyncProgress(w Progress) Progress {
+	if w == nil {
+		return nil
+	}
+	if _, ok := w.(*lockedWriter); ok {
+		return w
+	}
+	return &lockedWriter{w: w}
+}
+
+// Sweep runs the cells on a pool of workers goroutines and returns their
+// results in cell order, regardless of completion order. The first error
+// observed cancels the sweep: in-flight cells finish, no new cells start,
+// and that error is returned. workers <= 0 means GOMAXPROCS; workers == 1
+// runs the cells serially in order on the calling goroutine.
+func Sweep[T any](workers int, cells []func() (T, error)) ([]T, error) {
+	out := make([]T, len(cells))
+	if len(cells) == 0 {
+		return out, nil
+	}
+	workers = resolveWorkers(workers)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers == 1 {
+		for i, cell := range cells {
+			v, err := cell()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) || stop.Load() {
+					return
+				}
+				v, err := cells[i]()
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// gridSeries is one row of an instance-sweep grid: a labelled series whose
+// cells run at 1..MaxInstances concurrent instances.
+type gridSeries struct {
+	label string
+	run   func(n int) (uint64, error)
+}
+
+// instanceGrid sweeps every series over 1..MaxInstances on the worker pool
+// and appends the assembled series to fig in row order.
+func (sw Sweeper) instanceGrid(fig *Figure, rows []gridSeries) (*Figure, error) {
+	var cells []func() (uint64, error)
+	for _, r := range rows {
+		for n := 1; n <= MaxInstances; n++ {
+			cells = append(cells, func() (uint64, error) { return r.run(n) })
+		}
+	}
+	ys, err := Sweep(sw.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
+	for ri, r := range rows {
+		s := Series{Label: r.label}
+		for n := 1; n <= MaxInstances; n++ {
+			s.X = append(s.X, n)
+			s.Y = append(s.Y, ys[ri*MaxInstances+n-1])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
