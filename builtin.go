@@ -1,0 +1,91 @@
+package protean
+
+import (
+	"protean/internal/workload"
+)
+
+// basePaperItems gives each paper application's full-scale work-unit
+// count, sized so a single accelerated instance completes in ~1.2e8
+// cycles, matching the paper's Figure 2 left edge.
+var basePaperItems = map[workload.Kind]int{
+	workload.Alpha:   4_000_000,
+	workload.Echo:    2_400_000,
+	workload.Twofish: 1_100_000,
+}
+
+// The paper's three applications register under four names each:
+//
+//	"alpha"            custom instructions; software alternatives are
+//	                   registered too iff the session enables software
+//	                   dispatch (the mode cmd/proteansim always used)
+//	"alpha/hw"         custom instructions + registered software
+//	                   alternatives, regardless of session mode
+//	"alpha/hw-nosoft"  custom instructions only
+//	"alpha/baseline"   the unaccelerated pure-software build
+//
+// plus "alpha/gate", which runs the blend circuit as its real placed
+// bitstream on the fabric simulator instead of the behavioural model.
+func init() {
+	for _, kind := range workload.Kinds {
+		base := basePaperItems[kind]
+		mustRegister(Workload{Name: kind.String(), BaseItems: base, Build: autoBuild(kind)})
+		for _, mode := range []workload.Mode{workload.ModeHW, workload.ModeHWOnly, workload.ModeBaseline} {
+			mustRegister(Workload{
+				Name:      kind.String() + "/" + mode.String(),
+				BaseItems: base,
+				Build:     modeBuild(kind, mode),
+			})
+		}
+	}
+	mustRegister(Workload{
+		Name:      "alpha/gate",
+		BaseItems: basePaperItems[workload.Alpha],
+		Build: func(items int, soft bool) (Program, error) {
+			// Mode follows the session like bare "alpha", so -soft runs
+			// keep their software alternatives with the gate image.
+			prog, err := autoBuild(workload.Alpha)(items, soft)
+			if err != nil {
+				return Program{}, err
+			}
+			img, err := workload.AlphaGateImage()
+			if err != nil {
+				return Program{}, err
+			}
+			prog.Images = []*Image{img}
+			return prog, nil
+		},
+	})
+}
+
+// autoBuild picks the build mode from the session: software alternatives
+// are only worth registering when the session will dispatch to them.
+func autoBuild(kind workload.Kind) func(items int, soft bool) (Program, error) {
+	return func(items int, soft bool) (Program, error) {
+		mode := workload.ModeHWOnly
+		if soft {
+			mode = workload.ModeHW
+		}
+		return buildApp(kind, items, mode)
+	}
+}
+
+// modeBuild pins the build mode regardless of session configuration.
+func modeBuild(kind workload.Kind, mode workload.Mode) func(items int, soft bool) (Program, error) {
+	return func(items int, _ bool) (Program, error) {
+		return buildApp(kind, items, mode)
+	}
+}
+
+func buildApp(kind workload.Kind, items int, mode workload.Mode) (Program, error) {
+	app, err := workload.Build(kind, items, mode)
+	if err != nil {
+		return Program{}, err
+	}
+	expected := app.Expected
+	return Program{
+		Name:     app.Name,
+		Source:   app.Source,
+		Images:   app.Images,
+		Expected: &expected,
+	}, nil
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"protean"
 	"protean/internal/exp"
 )
 
@@ -42,7 +43,7 @@ func main() {
 		Workers: *workers,
 	}
 	if !*quiet {
-		sw.Progress = os.Stderr
+		sw.Progress = protean.WriterSink(os.Stderr)
 	}
 
 	if err := run(*fig, sw, *csvDir, *twofish3, os.Stdout); err != nil {

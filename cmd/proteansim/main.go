@@ -1,33 +1,32 @@
 // Command proteansim runs one scheduling scenario on the ProteanARM and
 // prints a detailed report: per-process completion, CIS activity, RFU
-// dispatch statistics and (optionally) the kernel event trace.
+// dispatch statistics and (optionally) the kernel event trace. It is a
+// thin front end over the public protean facade.
 //
 // Usage:
 //
 //	proteansim -app alpha|twofish|echo|mix -n 4 [-quantum cycles]
 //	           [-policy rr|random|lru|2chance] [-soft] [-sharing]
-//	           [-items N] [-scale N] [-trace]
+//	           [-items N] [-scale N] [-trace] [-progress]
 //
-// "mix" runs one instance of each application.
+// -app accepts any registered workload name (see -list), "mix" for one
+// instance of each paper application in rotation, or a comma-separated
+// list of names to rotate through.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"protean/internal/asm"
-	"protean/internal/bus"
-	"protean/internal/core"
-	"protean/internal/exp"
-	"protean/internal/kernel"
-	"protean/internal/machine"
-	"protean/internal/trace"
-	"protean/internal/workload"
+	"protean"
 )
 
 func main() {
-	appName := flag.String("app", "alpha", "application: alpha, twofish, echo, or mix")
+	appName := flag.String("app", "alpha", `workload: a registry name, "mix", or a comma-separated rotation`)
+	list := flag.Bool("list", false, "print the registered workload names and exit")
 	n := flag.Int("n", 4, "concurrent instances")
 	quantum := flag.Uint("quantum", 0, "scheduling quantum in cycles (default: scaled 10ms)")
 	policy := flag.String("policy", "rr", "replacement policy: rr, random, lru, 2chance")
@@ -37,152 +36,113 @@ func main() {
 	scaleF := flag.Int("scale", 100, "scale divisor")
 	seed := flag.Int64("seed", 1, "random policy seed")
 	showTrace := flag.Bool("trace", false, "print the kernel event trace tail")
+	progress := flag.Bool("progress", false, "stream structured progress events to stderr")
 	gate := flag.Bool("gatelevel", false, "run the alpha circuit as its real placed bitstream on the fabric simulator (slow)")
 	disasmN := flag.Int("disasm", 0, "stream a disassembly of the first N executed instructions to stderr")
 	flag.Parse()
 
-	if err := run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *gate, *disasmN); err != nil {
+	if *list {
+		fmt.Println(strings.Join(protean.Workloads(), "\n"))
+		return
+	}
+	if err := run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN); err != nil {
 		fmt.Fprintln(os.Stderr, "proteansim:", err)
 		os.Exit(1)
 	}
 }
 
-func parsePolicy(s string) (kernel.PolicyKind, error) {
-	switch s {
-	case "rr", "round-robin":
-		return kernel.PolicyRoundRobin, nil
-	case "random":
-		return kernel.PolicyRandom, nil
-	case "lru":
-		return kernel.PolicyLRU, nil
-	case "2chance", "second-chance":
-		return kernel.PolicySecondChance, nil
+// parseApps expands the -app argument into the workload rotation.
+func parseApps(s string, gate bool) ([]string, error) {
+	var names []string
+	if s == "mix" {
+		names = []string{"alpha", "twofish", "echo"}
+	} else {
+		names = strings.Split(s, ",")
 	}
-	return 0, fmt.Errorf("unknown policy %q", s)
+	if gate {
+		rewrote := false
+		for i, name := range names {
+			if name == "alpha" {
+				names[i] = "alpha/gate"
+				rewrote = true
+			}
+		}
+		if !rewrote {
+			return nil, fmt.Errorf(`-gatelevel applies to the "alpha" workload; include it in -app`)
+		}
+	}
+	return names, nil
 }
 
-func parseApps(s string) ([]workload.Kind, error) {
-	switch s {
-	case "alpha":
-		return []workload.Kind{workload.Alpha}, nil
-	case "twofish":
-		return []workload.Kind{workload.Twofish}, nil
-	case "echo":
-		return []workload.Kind{workload.Echo}, nil
-	case "mix":
-		return []workload.Kind{workload.Alpha, workload.Twofish, workload.Echo}, nil
-	}
-	return nil, fmt.Errorf("unknown app %q", s)
-}
-
-func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, gate bool, disasmN int) error {
-	pol, err := parsePolicy(policyName)
+func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, progress, gate bool, disasmN int) error {
+	pol, err := protean.ParsePolicy(policyName)
 	if err != nil {
 		return err
 	}
-	kinds, err := parseApps(appName)
-	if err != nil {
-		return err
+	opts := []protean.Option{
+		protean.WithScale(scaleF),
+		protean.WithQuantum(quantum), // 0 = scaled 10ms default
+		protean.WithPolicy(pol),
+		protean.WithSoftDispatch(soft),
+		protean.WithSharing(sharing),
+		protean.WithSeed(seed),
 	}
-	scale := exp.Scale{Factor: scaleF}
-	if quantum == 0 {
-		quantum = scale.Quantum(exp.Quantum10ms)
+	if showTrace {
+		opts = append(opts, protean.WithTrace(64))
 	}
-	mode := workload.ModeHWOnly
-	if soft {
-		mode = workload.ModeHW
-	}
-
-	m := machine.New(machine.Config{ConfigBytesPerCycle: scale.ConfigBytesPerCycle()})
-	tl := trace.New(64)
-	cfg := kernel.Config{
-		Quantum:      quantum,
-		Policy:       pol,
-		SoftDispatch: soft,
-		Sharing:      sharing,
-		Costs:        scale.Costs(),
-		Seed:         seed,
-		Trace:        tl,
+	if progress {
+		opts = append(opts, protean.WithProgress(protean.WriterSink(os.Stderr)))
 	}
 	if disasmN > 0 {
-		left := disasmN
-		cfg.InstrHook = func(pc uint32) {
-			if left <= 0 {
-				return
-			}
-			left--
-			if w, fault := m.Bus.Read32(pc, bus.Fetch); fault == nil {
-				fmt.Fprintf(os.Stderr, "%08x  %08x  %s\n", pc, w, asm.Disassemble(w, pc))
-			}
-		}
+		opts = append(opts, protean.WithDisasm(os.Stderr, disasmN))
 	}
-	k := kernel.New(m, cfg)
-
-	expected := map[string]uint32{}
-	for i := 0; i < n; i++ {
-		kind := kinds[i%len(kinds)]
-		cnt := items
-		if cnt <= 0 {
-			cnt = scale.Items(kind)
-		}
-		app, err := workload.Build(kind, cnt, mode)
-		if err != nil {
-			return err
-		}
-		if gate && kind == workload.Alpha {
-			img, err := workload.AlphaGateImage()
-			if err != nil {
-				return err
-			}
-			app.Images = []*core.Image{img}
-		}
-		prog, err := asm.Assemble(app.Source, k.NextBase())
-		if err != nil {
-			return err
-		}
-		name := fmt.Sprintf("%s#%d", app.Name, i+1)
-		if _, err := k.Spawn(name, prog, app.Images); err != nil {
-			return err
-		}
-		expected[name] = app.Expected
-	}
-	if err := k.Start(); err != nil {
+	names, err := parseApps(appName, gate)
+	if err != nil {
 		return err
 	}
-	if err := k.Run(1 << 40); err != nil {
+	s, err := protean.New(opts...)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Spawn(names[i%len(names)], 1, items); err != nil {
+			return err
+		}
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
 		return err
 	}
 
 	fmt.Printf("machine: %d cycles total, quantum %d, policy %s, soft=%v sharing=%v\n\n",
-		m.Cycles(), quantum, pol, soft, sharing)
+		res.Cycles, s.Quantum(), pol, soft, sharing)
 	fmt.Println("processes:")
-	for _, p := range k.Processes() {
+	for _, p := range res.Procs {
 		verdict := "OK"
-		if p.State != kernel.ProcExited {
+		if p.State != protean.ProcExited {
 			verdict = "KILLED"
-		} else if p.ExitCode != expected[p.Name] {
+		} else if !p.OK() {
 			verdict = "CHECKSUM MISMATCH"
 		}
 		fmt.Printf("  %-22s completion=%-12d switches=%-5d faults=%-5d instrs=%-10d %s\n",
-			p.Name, p.Stats.CompletionCycle, p.Stats.Switches, p.Stats.Faults,
-			p.Stats.UserInstrs, verdict)
+			p.Name, p.Completion, p.Switches, p.Faults, p.Instrs, verdict)
 	}
-	cs := k.CIS.Stats
+	cs := res.CIS
 	fmt.Printf("\nCIS: faults=%d mapping-faults=%d loads=%d restores=%d evictions=%d soft-maps=%d share-hits=%d\n",
 		cs.Faults, cs.MappingFaults, cs.Loads, cs.Restores, cs.Evictions, cs.SoftMaps, cs.ShareHits)
 	fmt.Printf("     config traffic: %d bytes, %d cycles on the configuration port\n",
 		cs.ConfigBytes, cs.ConfigCycles)
-	rs := m.RFU.Stats
+	rs := res.RFU
 	fmt.Printf("RFU: hw-dispatches=%d sw-dispatches=%d faults=%d completions=%d aborts=%d exec-cycles=%d\n",
 		rs.HWDispatches, rs.SWDispatches, rs.Faults, rs.Completions, rs.Aborts, rs.ExecCycles)
 	fmt.Printf("     TLB1 %d/%d lookups/misses, TLB2 %d/%d\n",
-		m.RFU.TLB1.Lookups, m.RFU.TLB1.Misses, m.RFU.TLB2.Lookups, m.RFU.TLB2.Misses)
-	ks := k.Stats
+		res.TLB1.Lookups, res.TLB1.Misses, res.TLB2.Lookups, res.TLB2.Misses)
+	ks := res.Kernel
 	fmt.Printf("kernel: switches=%d timer-irqs=%d syscalls=%d kernel-cycles=%d\n",
 		ks.ContextSwitches, ks.TimerIRQs, ks.Syscalls, ks.KernelCycles)
 	if showTrace {
 		fmt.Println("\nevent trace (most recent):")
-		fmt.Print(tl.String())
+		fmt.Print(res.Trace)
 	}
-	return nil
+	return res.Err()
 }

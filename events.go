@@ -1,0 +1,97 @@
+package protean
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind classifies a progress event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventRunStart fires when Session.Run dispatches its first process.
+	EventRunStart EventKind = iota
+	// EventProcessExit fires each time a process exits or is killed, with
+	// its final statistics.
+	EventProcessExit
+	// EventRunDone fires when every process has finished.
+	EventRunDone
+	// EventCellDone fires once per completed cell of an experiment sweep
+	// (internal/exp's figure generators).
+	EventCellDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventRunStart:
+		return "run-start"
+	case EventProcessExit:
+		return "proc-exit"
+	case EventRunDone:
+		return "run-done"
+	case EventCellDone:
+		return "cell-done"
+	default:
+		return fmt.Sprintf("event%d", int(k))
+	}
+}
+
+// Event is one structured progress notification. It replaces the bare
+// io.Writer progress sink the experiment harness used to take: consumers
+// that want machine-readable progress read the fields; consumers that want
+// the classic log lines use WriterSink.
+type Event struct {
+	Kind EventKind
+	// Label identifies the subject: the process name for process events,
+	// the cell label for sweep events.
+	Label string
+	// PID identifies the process for EventProcessExit.
+	PID uint32
+	// Cycle is the machine-cycle timestamp: the completion cycle for
+	// process and cell events, the total for EventRunDone.
+	Cycle uint64
+	// Procs is the process count for run-level events.
+	Procs int
+	// OK reports success for terminal events (clean exit, verified cell).
+	OK bool
+	// Message is a preformatted human-readable line; WriterSink prints it
+	// verbatim when present.
+	Message string
+}
+
+// Sink consumes progress events. Implementations must be safe for
+// concurrent use: experiment sweeps emit from every worker goroutine.
+type Sink interface {
+	Event(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface. The function must be
+// safe for concurrent use.
+type SinkFunc func(Event)
+
+// Event implements Sink.
+func (f SinkFunc) Event(e Event) { f(e) }
+
+// WriterSink renders events as human-readable lines on w, one line per
+// event. Writes are serialized through a mutex, so one WriterSink may be
+// shared by concurrent sweep workers without interleaving mid-line.
+func WriterSink(w io.Writer) Sink {
+	return &writerSink{w: w}
+}
+
+type writerSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (ws *writerSink) Event(e Event) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	msg := e.Message
+	if msg == "" {
+		msg = fmt.Sprintf("%s %s cycle=%d", e.Kind, e.Label, e.Cycle)
+	}
+	fmt.Fprintln(ws.w, msg)
+}

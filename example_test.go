@@ -1,0 +1,106 @@
+package protean_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"protean"
+	"protean/internal/core"
+	"protean/internal/fabric"
+)
+
+// Example is the complete quickstart: build a custom circuit, boot a
+// session, run one process that registers and invokes the circuit as a
+// custom instruction, and read the structured result.
+func Example() {
+	adder := core.NewBehaviouralImage(core.BehaviouralSpec{
+		Name: "myadd", Spec: fabric.DefaultPFUSpec, StateWords: 1,
+		Step: func(st []uint32, a, b uint32, init bool) (uint32, bool) {
+			if init {
+				st[0] = 0
+			}
+			st[0]++
+			return a + b, st[0] >= 4
+		},
+	})
+	s, err := protean.New(protean.WithQuantum(protean.Quantum1ms))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := s.SpawnProgram("quickstart", `
+	ldr r0, =desc
+	swi 3                      ; register custom instruction CID 7
+	mov r0, #30
+	mov r1, #12
+	mcr p1, 0, r0, c0, c0
+	mcr p1, 0, r1, c1, c0
+	cdp p1, 7, c2, c0, c1      ; faults, loads the circuit, reissues
+	mrc p1, 0, r2, c2, c0
+	mov r0, r2
+	swi 0
+desc:
+	.word 7, 0, 0
+`, []*protean.Image{adder})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Expect(42)
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exit=%d verified=%v loads=%d\n",
+		res.Procs[0].ExitCode, res.Err() == nil, res.CIS.Loads)
+	// Output: exit=42 verified=true loads=1
+}
+
+// ExampleSession_Spawn runs a heterogeneous mix — the paper's three
+// applications contending for four PFUs in one session — and verifies
+// every process checksum against the Go models.
+func ExampleSession_Spawn() {
+	s, err := protean.New(
+		protean.WithQuantum(protean.Quantum1ms/10),
+		protean.WithPolicy(protean.PolicyRandom),
+		protean.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Spawn("alpha", 2, 1_000)
+	s.Spawn("echo", 1, 600)
+	s.Spawn("twofish", 1, 40)
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := 0
+	for _, p := range res.Procs {
+		if p.OK() {
+			ok++
+		}
+	}
+	fmt.Printf("%d/%d processes verified\n", ok, len(res.Procs))
+	// Output: 4/4 processes verified
+}
+
+// ExampleParsePolicy shows the round-trip between policy names and kinds.
+func ExampleParsePolicy() {
+	p, _ := protean.ParsePolicy("second-chance")
+	fmt.Println(p)
+	p, _ = protean.ParsePolicy("rr")
+	fmt.Println(p)
+	// Output:
+	// second-chance
+	// round-robin
+}
+
+// ExampleWorkloads lists registry names usable with Session.Spawn.
+func ExampleWorkloads() {
+	names := map[string]bool{}
+	for _, n := range protean.Workloads() {
+		names[n] = true
+	}
+	fmt.Println(names["alpha"], names["twofish/baseline"], names["alpha/gate"])
+	// Output: true true true
+}

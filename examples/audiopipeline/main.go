@@ -7,57 +7,36 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"protean/internal/asm"
-	"protean/internal/exp"
-	"protean/internal/kernel"
-	"protean/internal/machine"
-	"protean/internal/workload"
+	"protean"
 )
 
-func run(instances int, soft bool, samples int) (uint64, *kernel.Kernel, error) {
-	mode := workload.ModeHWOnly
-	if soft {
-		mode = workload.ModeHW // registers the software alternatives
-	}
-	app, err := workload.BuildEcho(samples, mode)
-	if err != nil {
-		return 0, nil, err
-	}
-	m := machine.New(machine.Config{})
-	k := kernel.New(m, kernel.Config{
+func run(instances int, soft bool, samples int) (*protean.Result, error) {
+	s, err := protean.New(
 		// 2ms: short enough that circuit switching hurts (two 54 KB loads
 		// are 54% of the quantum) without collapsing into livelock.
-		Quantum:      2 * exp.Quantum1ms,
-		SoftDispatch: soft,
-	})
-	for i := 0; i < instances; i++ {
-		prog, err := asm.Assemble(app.Source, k.NextBase())
-		if err != nil {
-			return 0, nil, err
-		}
-		if _, err := k.Spawn(fmt.Sprintf("track%d", i+1), prog, app.Images); err != nil {
-			return 0, nil, err
-		}
+		protean.WithQuantum(2*protean.Quantum1ms),
+		// The "echo" registry workload registers its software
+		// alternatives exactly when the session dispatches to them.
+		protean.WithSoftDispatch(soft),
+	)
+	if err != nil {
+		return nil, err
 	}
-	if err := k.Start(); err != nil {
-		return 0, nil, err
+	if _, err := s.Spawn("echo", instances, samples); err != nil {
+		return nil, err
 	}
-	if err := k.Run(1 << 36); err != nil {
-		return 0, nil, err
+	res, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	var last uint64
-	for _, p := range k.Processes() {
-		if p.ExitCode != app.Expected {
-			return 0, nil, fmt.Errorf("%s: wrong audio checksum", p.Name)
-		}
-		if p.Stats.CompletionCycle > last {
-			last = p.Stats.CompletionCycle
-		}
+	if err := res.Err(); err != nil {
+		return nil, fmt.Errorf("wrong audio checksum: %w", err)
 	}
-	return last, k, nil
+	return res, nil
 }
 
 func main() {
@@ -67,26 +46,27 @@ func main() {
 	fmt.Printf("echo effect: %d tracks x %d samples, dual-tap + soft-knee (2 CIs per track)\n\n",
 		tracks, samples)
 
-	switching, k1, err := run(tracks, false, samples)
+	switching, err := run(tracks, false, samples)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("circuit switching: %12d cycles  (%d evictions, %d reloads)\n",
-		switching, k1.CIS.Stats.Evictions, k1.CIS.Stats.Loads)
+		switching.Completion, switching.CIS.Evictions, switching.CIS.Loads)
 
-	softTime, k2, err := run(tracks, true, samples)
+	softRes, err := run(tracks, true, samples)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("software dispatch: %12d cycles  (%d soft mappings, %d SW dispatches, 0 evictions)\n",
-		softTime, k2.CIS.Stats.SoftMaps, k2.M.RFU.Stats.SWDispatches)
+		softRes.Completion, softRes.CIS.SoftMaps, softRes.RFU.SWDispatches)
 
 	fmt.Printf("\nall %d tracks produced bit-identical audio in both modes\n", tracks)
-	if softTime < switching {
+	switchT, softT := switching.Completion, softRes.Completion
+	if softT < switchT {
 		fmt.Printf("software dispatch wins by %.1f%% at this short quantum — the paper's §5.1.2 result\n",
-			(1-float64(softTime)/float64(switching))*100)
+			(1-float64(softT)/float64(switchT))*100)
 	} else {
 		fmt.Printf("circuit switching wins by %.1f%% here — at 10ms quanta swapping is cheap (§5.1.3)\n",
-			(1-float64(switching)/float64(softTime))*100)
+			(1-float64(switchT)/float64(softT))*100)
 	}
 }

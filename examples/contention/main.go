@@ -1,76 +1,56 @@
 // Contention pits the four CIS replacement policies against each other on
-// an over-committed array: six alpha-blending processes, four PFUs, 1 ms
+// an over-committed array: five alpha-blending processes, four PFUs, 1 ms
 // quanta. Round robin and random are the paper's policies (Figure 2);
 // LRU and second chance are the classic algorithms the §4.5 usage
-// counters enable.
+// counters enable. Each policy runs in its own protean session.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"protean/internal/asm"
-	"protean/internal/exp"
-	"protean/internal/kernel"
-	"protean/internal/machine"
-	"protean/internal/workload"
+	"protean"
 )
 
 func main() {
 	const instances = 5
 	const pixels = 30_000
 
-	app, err := workload.BuildAlpha(pixels, workload.ModeHWOnly)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	policies := []kernel.PolicyKind{
-		kernel.PolicyRoundRobin,
-		kernel.PolicyRandom,
-		kernel.PolicyLRU,
-		kernel.PolicySecondChance,
+	policies := []protean.Policy{
+		protean.PolicyRoundRobin,
+		protean.PolicyRandom,
+		protean.PolicyLRU,
+		protean.PolicySecondChance,
 	}
 	fmt.Printf("%d alpha instances, 4 PFUs, 1ms quantum, %d pixels each\n\n", instances, pixels)
 	fmt.Printf("%-14s %14s %10s %10s %12s\n", "policy", "completion", "evictions", "reloads", "config-bytes")
 
-	best := kernel.PolicyRoundRobin
+	best := protean.PolicyRoundRobin
 	var bestTime uint64
 	for _, pol := range policies {
-		m := machine.New(machine.Config{})
-		k := kernel.New(m, kernel.Config{
-			Quantum: exp.Quantum1ms,
-			Policy:  pol,
-			Seed:    3,
-		})
-		for i := 0; i < instances; i++ {
-			prog, err := asm.Assemble(app.Source, k.NextBase())
-			if err != nil {
-				log.Fatal(err)
-			}
-			if _, err := k.Spawn(fmt.Sprintf("p%d", i+1), prog, app.Images); err != nil {
-				log.Fatal(err)
-			}
-		}
-		if err := k.Start(); err != nil {
+		s, err := protean.New(
+			protean.WithQuantum(protean.Quantum1ms),
+			protean.WithPolicy(pol),
+			protean.WithSeed(3),
+		)
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := k.Run(1 << 36); err != nil {
+		if _, err := s.Spawn("alpha", instances, pixels); err != nil {
 			log.Fatal(err)
 		}
-		var completion uint64
-		for _, p := range k.Processes() {
-			if p.ExitCode != app.Expected {
-				log.Fatalf("%s/%s: checksum mismatch", pol, p.Name)
-			}
-			if p.Stats.CompletionCycle > completion {
-				completion = p.Stats.CompletionCycle
-			}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			log.Fatalf("%s: %v", pol, err)
 		}
 		fmt.Printf("%-14s %14d %10d %10d %12d\n",
-			pol, completion, k.CIS.Stats.Evictions, k.CIS.Stats.Loads, k.CIS.Stats.ConfigBytes)
-		if bestTime == 0 || completion < bestTime {
-			best, bestTime = pol, completion
+			pol, res.Completion, res.CIS.Evictions, res.CIS.Loads, res.CIS.ConfigBytes)
+		if bestTime == 0 || res.Completion < bestTime {
+			best, bestTime = pol, res.Completion
 		}
 	}
 	fmt.Printf("\nbest policy here: %s\n", best)

@@ -1,79 +1,58 @@
-// Cryptostream runs the paper's twofish encryption application: a stream
-// of blocks pushed through the stateful five-call custom instruction, with
-// the OS swapping the half-fed circuit on and off the array under
-// contention. It cross-checks the simulated ciphertext checksum against
-// the host Go implementation and prints the dispatch statistics.
+// Cryptostream runs the paper's twofish encryption application: five
+// concurrent streams of blocks pushed through the stateful five-call
+// custom instruction on four PFUs, so the OS must swap half-fed circuits
+// on and off the array under contention. The registry workload verifies
+// the simulated ciphertext checksum against the host Go implementation of
+// twofish, and the run prints the dispatch statistics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"protean/internal/asm"
-	"protean/internal/exp"
-	"protean/internal/kernel"
-	"protean/internal/machine"
-	"protean/internal/twofish"
-	"protean/internal/workload"
+	"protean"
 )
 
 func main() {
 	const blocks = 600
+	const streams = 5
 
-	// Host-side reference: the same cipher the circuit image carries.
-	ciph, err := twofish.New(workload.TwofishKey)
+	s, err := protean.New(
+		protean.WithQuantum(protean.Quantum1ms),
+		protean.WithPolicy(protean.PolicyRandom),
+		protean.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ct := make([]byte, 16)
-	ciph.Encrypt(ct, make([]byte, 16))
-	fmt.Printf("session key %q, E(0) = %X...\n\n", workload.TwofishKey, ct[:8])
-
 	// Five concurrent encryption streams on four PFUs: the CIS must swap
 	// the stateful circuit mid-block and restore it with its state frames.
-	app, err := workload.BuildTwofish(blocks, workload.ModeHWOnly)
+	if _, err := s.Spawn("twofish", streams, blocks); err != nil {
+		log.Fatal(err)
+	}
+	pfus := s.NumPFUs()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := machine.New(machine.Config{})
-	k := kernel.New(m, kernel.Config{
-		Quantum: exp.Quantum1ms,
-		Policy:  kernel.PolicyRandom,
-		Seed:    7,
-	})
-	const streams = 5
-	for i := 0; i < streams; i++ {
-		prog, err := asm.Assemble(app.Source, k.NextBase())
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := k.Spawn(fmt.Sprintf("stream%d", i+1), prog, app.Images); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := k.Start(); err != nil {
-		log.Fatal(err)
-	}
-	if err := k.Run(1 << 36); err != nil {
-		log.Fatal(err)
-	}
 
-	fmt.Printf("%d streams x %d blocks on %d PFUs:\n", streams, blocks, m.RFU.NumPFUs())
-	for _, p := range k.Processes() {
+	fmt.Printf("%d streams x %d blocks on %d PFUs:\n", streams, blocks, pfus)
+	for _, p := range res.Procs {
 		status := "ciphertext checksum verified"
-		if p.ExitCode != app.Expected {
+		if !p.OK() {
 			status = "CHECKSUM MISMATCH"
 		}
-		fmt.Printf("  %-10s finished at %12d cycles — %s\n", p.Name, p.Stats.CompletionCycle, status)
-		if p.ExitCode != app.Expected {
-			log.Fatal("simulation corrupted a block")
-		}
+		fmt.Printf("  %-22s finished at %12d cycles — %s\n", p.Name, p.Completion, status)
 	}
-	cs := k.CIS.Stats
+	if err := res.Err(); err != nil {
+		log.Fatal("simulation corrupted a block: ", err)
+	}
+	cs := res.CIS
 	fmt.Printf("\ncircuit management under contention:\n")
 	fmt.Printf("  %d loads, %d evictions, %d state-preserving restores\n", cs.Loads, cs.Evictions, cs.Restores)
-	fmt.Printf("  %d bytes crossed the configuration port (%d full images + %d-byte state frames)\n",
-		cs.ConfigBytes, cs.Loads, 63)
+	fmt.Printf("  %d bytes crossed the configuration port (%d cycles of config-port time)\n",
+		cs.ConfigBytes, cs.ConfigCycles)
 	fmt.Println("\nevery swapped circuit resumed its half-encrypted block exactly — the")
 	fmt.Println("§4.1 split configuration carrying the FSM state across PFUs.")
 }

@@ -1,59 +1,48 @@
 // Imageblend runs the paper's alpha blending application over a synthetic
 // image sequence in two builds — custom-instruction accelerated and pure
-// software — and compares their completion times. It also demonstrates the
-// gate-level version of the blend circuit: the same instruction placed and
-// routed onto the simulated CLB fabric, verified against the behavioural
-// model.
+// software — and compares their completion times through the workload
+// registry ("alpha/hw" vs "alpha/baseline"). It also demonstrates the
+// gate-level version of the blend circuit: the same instruction placed
+// and routed onto the simulated CLB fabric, verified against the
+// behavioural model.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"protean/internal/asm"
-	"protean/internal/exp"
+	"protean"
 	"protean/internal/fabric"
-	"protean/internal/kernel"
-	"protean/internal/machine"
-	"protean/internal/workload"
 )
 
-func run(mode workload.Mode, pixels int) (uint64, error) {
-	app, err := workload.BuildAlpha(pixels, mode)
+func run(workload string, pixels int) (uint64, error) {
+	s, err := protean.New(protean.WithQuantum(protean.Quantum10ms))
 	if err != nil {
 		return 0, err
 	}
-	m := machine.New(machine.Config{})
-	k := kernel.New(m, kernel.Config{Quantum: exp.Quantum10ms})
-	prog, err := asm.Assemble(app.Source, k.NextBase())
+	if _, err := s.Spawn(workload, 1, pixels); err != nil {
+		return 0, err
+	}
+	res, err := s.Run(context.Background())
 	if err != nil {
 		return 0, err
 	}
-	p, err := k.Spawn(app.Name, prog, app.Images)
-	if err != nil {
+	if err := res.Err(); err != nil {
 		return 0, err
 	}
-	if err := k.Start(); err != nil {
-		return 0, err
-	}
-	if err := k.Run(1 << 34); err != nil {
-		return 0, err
-	}
-	if p.ExitCode != app.Expected {
-		return 0, fmt.Errorf("%s: checksum %#x, want %#x", app.Name, p.ExitCode, app.Expected)
-	}
-	return p.Stats.CompletionCycle, nil
+	return res.Completion, nil
 }
 
 func main() {
 	const pixels = 64 * 64 * 10 // ten 64x64 frames
 
 	fmt.Printf("alpha blending %d pixels (ten 64x64 frames)\n\n", pixels)
-	hw, err := run(workload.ModeHW, pixels)
+	hw, err := run("alpha/hw", pixels)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sw, err := run(workload.ModeBaseline, pixels)
+	sw, err := run("alpha/baseline", pixels)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,22 +1,21 @@
 // Quickstart: the smallest complete Proteus program.
 //
-// It builds a ProteanARM machine, boots POrSCHE, and runs one process that
-// registers a custom instruction (a behavioural adder circuit), invokes it
-// through the coprocessor interface, and prints the result. The first CDP
-// faults, the Custom Instruction Scheduler loads the circuit into a PFU,
-// and the instruction is transparently reissued — the §4.2 dispatch flow
-// end to end.
+// It boots a protean session and runs one process that registers a custom
+// instruction (a behavioural adder circuit), invokes it through the
+// coprocessor interface, and prints the result. The first CDP faults, the
+// Custom Instruction Scheduler loads the circuit into a PFU, and the
+// instruction is transparently reissued — the §4.2 dispatch flow end to
+// end, in ~15 lines of facade calls.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"protean/internal/asm"
+	"protean"
 	"protean/internal/core"
 	"protean/internal/fabric"
-	"protean/internal/kernel"
-	"protean/internal/machine"
 )
 
 const program = `
@@ -58,30 +57,26 @@ func main() {
 		},
 	})
 
-	m := machine.New(machine.Config{})
-	k := kernel.New(m, kernel.Config{Quantum: 100_000})
-
-	prog, err := asm.Assemble(program, k.NextBase())
+	s, err := protean.New(protean.WithQuantum(protean.Quantum1ms))
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := k.Spawn("quickstart", prog, []*core.Image{adder})
+	p, err := s.SpawnProgram("quickstart", program, []*protean.Image{adder})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := k.Start(); err != nil {
-		log.Fatal(err)
-	}
-	if err := k.Run(10_000_000); err != nil {
+	p.Expect(42)
+	res, err := s.Run(context.Background())
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("console output: %q\n", k.Console())
-	fmt.Printf("exit code:      %d (30 + 12)\n", p.ExitCode)
-	fmt.Printf("machine cycles: %d\n", m.Cycles())
+	fmt.Printf("console output: %q\n", res.Console)
+	fmt.Printf("exit code:      %d (30 + 12)\n", res.Procs[0].ExitCode)
+	fmt.Printf("machine cycles: %d\n", res.Cycles)
 	fmt.Printf("CIS activity:   %d fault, %d configuration load (%d bytes over the config port)\n",
-		k.CIS.Stats.Faults, k.CIS.Stats.Loads, k.CIS.Stats.ConfigBytes)
-	if p.ExitCode != 42 {
-		log.Fatal("unexpected result")
+		res.CIS.Faults, res.CIS.Loads, res.CIS.ConfigBytes)
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

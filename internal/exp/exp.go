@@ -6,101 +6,35 @@
 // exactly as the paper's y-axes. Because simulating the full-size runs
 // (~10^8–10^9 cycles each) for a hundred configurations is expensive, the
 // harness scales runs down while preserving the ratios that shape the
-// figures; see Scale.
+// figures; see protean.Scale.
+//
+// Every run goes through the public protean facade, so the experiment
+// sweeps double as an end-to-end exercise of the API every application
+// uses.
 package exp
 
 import (
+	"context"
 	"fmt"
-	"io"
 
-	"protean/internal/asm"
+	"protean"
 	"protean/internal/core"
 	"protean/internal/kernel"
-	"protean/internal/machine"
 	"protean/internal/workload"
 )
 
-// Paper-scale constants: the ProteanARM is assumed to clock at 100 MHz, so
-// the paper's quanta translate to cycles as below.
+// Paper-scale constants, re-exported from the facade: the ProteanARM is
+// assumed to clock at 100 MHz, so the paper's quanta translate to cycles
+// as below.
 const (
-	Quantum10ms  = 1_000_000
-	Quantum1ms   = 100_000
-	Quantum100ms = 10_000_000 // the Windows NT / BSD batch quantum of §5.1.3
+	Quantum10ms  = protean.Quantum10ms
+	Quantum1ms   = protean.Quantum1ms
+	Quantum100ms = protean.Quantum100ms // the Windows NT / BSD batch quantum of §5.1.3
 )
 
-// baseItems gives each application's full-scale work-unit count, sized so
-// a single accelerated instance completes in ~1.2e8 cycles, matching the
-// paper's Figure 2 left edge.
-var baseItems = map[workload.Kind]int{
-	workload.Alpha:   4_000_000,
-	workload.Echo:    2_400_000,
-	workload.Twofish: 1_100_000,
-}
-
-// Scale shrinks experiments by an integer factor S while preserving the
-// ratios that determine the figures' shape:
-//
-//   - quanta are divided by S (so work-units per quantum shrink),
-//   - per-instance work is divided by S (so quanta per run are preserved),
-//   - configuration-port bandwidth is multiplied by S (so the
-//     configuration cost : quantum ratio — the key quantity behind the
-//     1 ms degradation — is exactly preserved),
-//   - kernel management costs are divided by S (same reason).
-//
-// Scale 1 is the paper-size experiment.
-type Scale struct {
-	Factor int
-}
-
-// Items returns the scaled work-unit count for an app.
-func (s Scale) Items(kind workload.Kind) int {
-	n := baseItems[kind] / s.factor()
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-func (s Scale) factor() int {
-	if s.Factor <= 0 {
-		return 1
-	}
-	return s.Factor
-}
-
-// Quantum scales a paper-scale quantum.
-func (s Scale) Quantum(cycles uint32) uint32 {
-	q := cycles / uint32(s.factor())
-	if q < 100 {
-		q = 100
-	}
-	return q
-}
-
-// Costs returns the scaled kernel cost model.
-func (s Scale) Costs() kernel.CostModel {
-	div := func(v uint32) uint32 {
-		v /= uint32(s.factor())
-		if v < 1 {
-			v = 1
-		}
-		return v
-	}
-	d := kernel.DefaultCosts
-	return kernel.CostModel{
-		ContextSwitch:    div(d.ContextSwitch),
-		FaultEntry:       div(d.FaultEntry),
-		SyscallEntry:     div(d.SyscallEntry),
-		MapInstall:       div(d.MapInstall),
-		ScheduleDecision: div(d.ScheduleDecision),
-	}
-}
-
-// ConfigBytesPerCycle returns the scaled configuration-port bandwidth. At
-// scale 1 this is 1 byte/cycle — an 8-bit configuration port at core
-// clock, which makes a full 54 KB load cost ~54k cycles: 5.4% of a 10 ms
-// quantum but 54% of a 1 ms quantum, the asymmetry behind Figure 2.
-func (s Scale) ConfigBytesPerCycle() uint32 { return uint32(s.factor()) }
+// Scale is the facade's ratio-preserving shrink factor (see
+// protean.Scale); Scale 1 is the paper-size experiment.
+type Scale = protean.Scale
 
 // Scenario is one schedulable run: n instances of an application under a
 // kernel configuration.
@@ -138,51 +72,23 @@ type Result struct {
 	RFU        core.Stats
 }
 
-// Run executes a scenario and verifies every instance's checksum against
-// the Go model; a mismatch is an error, so every experiment doubles as a
-// correctness test of the whole stack.
+// workloadName maps a (Kind, Mode) pair onto its protean registry name.
+func workloadName(app workload.Kind, mode workload.Mode) string {
+	return app.String() + "/" + mode.String()
+}
+
+// Run executes a scenario on a protean session and verifies every
+// instance's checksum against the Go model; a mismatch is an error, so
+// every experiment doubles as a correctness test of the whole stack.
 func Run(sc Scenario) (*Result, error) {
 	if sc.Instances <= 0 {
 		return nil, fmt.Errorf("exp: need at least one instance")
 	}
 	items := sc.Items
 	if items <= 0 {
-		items = sc.Scale.Items(sc.App)
+		items = sc.Scale.Items(sc.App.String())
 	}
-	app, err := workload.Build(sc.App, items, sc.Mode)
-	if err != nil {
-		return nil, err
-	}
-	m := machine.New(machine.Config{
-		ConfigBytesPerCycle: sc.Scale.ConfigBytesPerCycle(),
-		RFU:                 core.Config{TLB1Entries: sc.TLB1Entries},
-	})
-	pageIn := sc.PageInCycles / uint32(sc.Scale.factor())
-	if sc.PageInCycles > 0 && pageIn == 0 {
-		pageIn = 1
-	}
-	k := kernel.New(m, kernel.Config{
-		Quantum:      sc.Quantum,
-		Policy:       sc.Policy,
-		SoftDispatch: sc.Soft,
-		Sharing:      sc.Sharing,
-		Costs:        sc.Scale.Costs(),
-		Seed:         sc.Seed,
-		FullReadback: sc.FullReadback,
-		PageInCycles: pageIn,
-	})
-	for i := 0; i < sc.Instances; i++ {
-		prog, err := asm.Assemble(app.Source, k.NextBase())
-		if err != nil {
-			return nil, fmt.Errorf("exp: assemble %s: %w", app.Name, err)
-		}
-		if _, err := k.Spawn(fmt.Sprintf("%s#%d", app.Name, i+1), prog, app.Images); err != nil {
-			return nil, err
-		}
-	}
-	if err := k.Start(); err != nil {
-		return nil, err
-	}
+	pageIn := sc.Scale.Cycles(sc.PageInCycles)
 	budget := sc.Budget
 	if budget == 0 {
 		// Generous: per-instance work times instances, times a thrash
@@ -193,35 +99,39 @@ func Run(sc Scenario) (*Result, error) {
 			budget = 2_000_000_000
 		}
 	}
-	if err := k.Run(budget); err != nil {
+	s, err := protean.New(
+		protean.WithScale(sc.Scale.Factor),
+		protean.WithQuantum(sc.Quantum),
+		protean.WithPolicy(sc.Policy),
+		protean.WithSoftDispatch(sc.Soft),
+		protean.WithSharing(sc.Sharing),
+		protean.WithSeed(sc.Seed),
+		protean.WithFullReadback(sc.FullReadback),
+		protean.WithTLB1Entries(sc.TLB1Entries),
+		protean.WithPageInCycles(pageIn),
+		protean.WithBudget(budget),
+	)
+	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		CIS:    k.CIS.Stats,
-		Kernel: k.Stats,
-		RFU:    m.RFU.Stats,
+	if _, err := s.Spawn(workloadName(sc.App, sc.Mode), sc.Instances, items); err != nil {
+		return nil, err
 	}
-	for _, p := range k.Processes() {
-		if p.State != kernel.ProcExited {
-			return nil, fmt.Errorf("exp: %s did not exit cleanly (%v)", p.Name, p.State)
-		}
-		if p.ExitCode != app.Expected {
-			return nil, fmt.Errorf("exp: %s checksum %#x, want %#x — simulation corrupted",
-				p.Name, p.ExitCode, app.Expected)
-		}
-		res.PerProcess = append(res.PerProcess, p.Stats.CompletionCycle)
-		if p.Stats.CompletionCycle > res.Completion {
-			res.Completion = p.Stats.CompletionCycle
-		}
+	run, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if err := run.Err(); err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	res := &Result{
+		Completion: run.Completion,
+		CIS:        run.CIS,
+		Kernel:     run.Kernel,
+		RFU:        run.RFU,
+	}
+	for _, p := range run.Procs {
+		res.PerProcess = append(res.PerProcess, p.Completion)
 	}
 	return res, nil
-}
-
-// Progress is an optional sink for run-by-run progress lines.
-type Progress = io.Writer
-
-func progressf(w Progress, format string, args ...any) {
-	if w != nil {
-		fmt.Fprintf(w, format, args...)
-	}
 }

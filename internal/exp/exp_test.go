@@ -23,8 +23,8 @@ func TestScaleArithmetic(t *testing.T) {
 	if s.ConfigBytesPerCycle() != 100 {
 		t.Errorf("config bandwidth = %d", s.ConfigBytesPerCycle())
 	}
-	if s.Items(workload.Alpha) != 40_000 {
-		t.Errorf("alpha items = %d", s.Items(workload.Alpha))
+	if s.Items(workload.Alpha.String()) != 40_000 {
+		t.Errorf("alpha items = %d", s.Items(workload.Alpha.String()))
 	}
 	// The key preserved ratio: config cycles / quantum.
 	full := Scale{Factor: 1}
@@ -33,9 +33,9 @@ func TestScaleArithmetic(t *testing.T) {
 	if r1/r100 < 0.99 || r1/r100 > 1.01 {
 		t.Errorf("scaling broke the config/quantum ratio: %.3f vs %.3f", r1, r100)
 	}
-	// Degenerate factors clamp.
+	// Degenerate factors clamp to 1.
 	z := Scale{}
-	if z.factor() != 1 {
+	if z.ConfigBytesPerCycle() != 1 || z.Quantum(Quantum10ms) != Quantum10ms {
 		t.Error("zero factor must behave as 1")
 	}
 }

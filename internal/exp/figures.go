@@ -1,11 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
-	"protean/internal/asm"
+	"protean"
 	"protean/internal/kernel"
-	"protean/internal/machine"
 	"protean/internal/workload"
 )
 
@@ -37,7 +37,6 @@ func (sw Sweeper) Figure2() (*Figure, error) {
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
-	w := SyncProgress(sw.Progress)
 	apps := []workload.Kind{workload.Echo, workload.Alpha, workload.Twofish}
 	policies := []kernel.PolicyKind{kernel.PolicyRoundRobin, kernel.PolicyRandom}
 	quanta := []struct {
@@ -69,7 +68,8 @@ func (sw Sweeper) Figure2() (*Figure, error) {
 					if err != nil {
 						return 0, fmt.Errorf("fig2 %s n=%d: %w", label, n, err)
 					}
-					progressf(w, "fig2 %-28s n=%d  %12d cycles\n", label, n, res.Completion)
+					sw.emit(fmt.Sprintf("fig2 %s n=%d", label, n), res.Completion,
+						"fig2 %-28s n=%d  %12d cycles", label, n, res.Completion)
 					return res.Completion, nil
 				}})
 			}
@@ -88,7 +88,6 @@ func (sw Sweeper) Figure3(withTwofish bool) (*Figure, error) {
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
-	w := SyncProgress(sw.Progress)
 	apps := []workload.Kind{workload.Echo, workload.Alpha}
 	if withTwofish {
 		apps = append(apps, workload.Twofish)
@@ -125,7 +124,8 @@ func (sw Sweeper) Figure3(withTwofish bool) (*Figure, error) {
 					if err != nil {
 						return 0, fmt.Errorf("fig3 %s n=%d: %w", label, n, err)
 					}
-					progressf(w, "fig3 %-28s n=%d  %12d cycles\n", label, n, res.Completion)
+					sw.emit(fmt.Sprintf("fig3 %s n=%d", label, n), res.Completion,
+						"fig3 %-28s n=%d  %12d cycles", label, n, res.Completion)
 					return res.Completion, nil
 				}})
 			}
@@ -143,7 +143,6 @@ func (sw Sweeper) PolicyAblation() (*Figure, error) {
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
-	w := SyncProgress(sw.Progress)
 	var rows []gridSeries
 	for _, pol := range []kernel.PolicyKind{
 		kernel.PolicyRoundRobin, kernel.PolicyRandom, kernel.PolicyLRU, kernel.PolicySecondChance,
@@ -161,7 +160,8 @@ func (sw Sweeper) PolicyAblation() (*Figure, error) {
 			if err != nil {
 				return 0, fmt.Errorf("A1 %s n=%d: %w", pol, n, err)
 			}
-			progressf(w, "A1 %-14s n=%d  %12d cycles\n", pol, n, res.Completion)
+			sw.emit(fmt.Sprintf("A1 %s n=%d", pol, n), res.Completion,
+				"A1 %-14s n=%d  %12d cycles", pol, n, res.Completion)
 			return res.Completion, nil
 		}})
 	}
@@ -177,7 +177,6 @@ func (sw Sweeper) ConfigSplitAblation() (*Figure, error) {
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
-	w := SyncProgress(sw.Progress)
 	var rows []gridSeries
 	for _, full := range []bool{false, true} {
 		label := "split (state frames)"
@@ -198,7 +197,8 @@ func (sw Sweeper) ConfigSplitAblation() (*Figure, error) {
 			if err != nil {
 				return 0, fmt.Errorf("A2 %s n=%d: %w", label, n, err)
 			}
-			progressf(w, "A2 %-22s n=%d  %12d cycles\n", label, n, res.Completion)
+			sw.emit(fmt.Sprintf("A2 %s n=%d", label, n), res.Completion,
+				"A2 %-22s n=%d  %12d cycles", label, n, res.Completion)
 			return res.Completion, nil
 		}})
 	}
@@ -218,7 +218,6 @@ type TLBStats struct {
 // purely on lost mappings, which the CIS must repair without reloading
 // hardware (§4.2).
 func (sw Sweeper) TLBAblation() ([]TLBStats, error) {
-	w := SyncProgress(sw.Progress)
 	var cells []func() (TLBStats, error)
 	for _, entries := range []int{2, 3, 4, 8, 16} {
 		cells = append(cells, func() (TLBStats, error) {
@@ -235,7 +234,8 @@ func (sw Sweeper) TLBAblation() ([]TLBStats, error) {
 			if err != nil {
 				return TLBStats{}, fmt.Errorf("A3 entries=%d: %w", entries, err)
 			}
-			progressf(w, "A3 tlb=%2d  mapping-faults=%6d loads=%4d completion=%d\n",
+			sw.emit(fmt.Sprintf("A3 tlb=%d", entries), res.Completion,
+				"A3 tlb=%2d  mapping-faults=%6d loads=%4d completion=%d",
 				entries, res.CIS.MappingFaults, res.CIS.Loads, res.Completion)
 			return TLBStats{
 				Entries:       entries,
@@ -257,7 +257,6 @@ func (sw Sweeper) QuantumSweep() (*Figure, error) {
 		XLabel: "Quantum index (100ms, 10ms, 5ms, 2ms, 1ms)",
 		YLabel: "Completion time in clock cycles",
 	}
-	w := SyncProgress(sw.Progress)
 	quanta := []struct {
 		label  string
 		cycles uint32
@@ -283,7 +282,8 @@ func (sw Sweeper) QuantumSweep() (*Figure, error) {
 			if err != nil {
 				return 0, fmt.Errorf("A4 %s: %w", q.label, err)
 			}
-			progressf(w, "A4 q=%-6s  %12d cycles\n", q.label, res.Completion)
+			sw.emit(fmt.Sprintf("A4 q=%s", q.label), res.Completion,
+				"A4 q=%-6s  %12d cycles", q.label, res.Completion)
 			return res.Completion, nil
 		})
 	}
@@ -310,7 +310,6 @@ func (sw Sweeper) SharingAblation() (*Figure, error) {
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
-	w := SyncProgress(sw.Progress)
 	var rows []gridSeries
 	for _, sharing := range []bool{false, true} {
 		label := "no sharing (paper's runs)"
@@ -331,7 +330,8 @@ func (sw Sweeper) SharingAblation() (*Figure, error) {
 			if err != nil {
 				return 0, fmt.Errorf("A5 %s n=%d: %w", label, n, err)
 			}
-			progressf(w, "A5 %-26s n=%d  %12d cycles\n", label, n, res.Completion)
+			sw.emit(fmt.Sprintf("A5 %s n=%d", label, n), res.Completion,
+				"A5 %-26s n=%d  %12d cycles", label, n, res.Completion)
 			return res.Completion, nil
 		}})
 	}
@@ -349,7 +349,6 @@ type SpeedupRow struct {
 // SpeedupTable (C5) measures each application's acceleration over its
 // unaccelerated build, single instance, no contention.
 func (sw Sweeper) SpeedupTable() ([]SpeedupRow, error) {
-	w := SyncProgress(sw.Progress)
 	modes := []workload.Mode{workload.ModeHW, workload.ModeBaseline}
 	var cells []func() (uint64, error)
 	for _, app := range workload.Kinds {
@@ -365,7 +364,8 @@ func (sw Sweeper) SpeedupTable() ([]SpeedupRow, error) {
 				if err != nil {
 					return 0, fmt.Errorf("C5 %s %s: %w", app, mode, err)
 				}
-				progressf(w, "C5 %-8s %-9s %12d cycles\n", app, mode, res.Completion)
+				sw.emit(fmt.Sprintf("C5 %s %s", app, mode), res.Completion,
+					"C5 %-8s %-9s %12d cycles", app, mode, res.Completion)
 				return res.Completion, nil
 			})
 		}
@@ -409,7 +409,6 @@ type PageInRow struct {
 // circuit switching beat software dispatch in Figure 3 — sweeping the
 // page-in cost from zero (the paper's runs) to a 5 ms disk access.
 func (sw Sweeper) PageInAblation() ([]PageInRow, error) {
-	w := SyncProgress(sw.Progress)
 	pageIns := []uint32{0, 100_000, 500_000}
 	var cells []func() (uint64, error)
 	for _, pageIn := range pageIns {
@@ -434,7 +433,8 @@ func (sw Sweeper) PageInAblation() ([]PageInRow, error) {
 				if err != nil {
 					return 0, fmt.Errorf("A6 pagein=%d soft=%v: %w", pageIn, soft, err)
 				}
-				progressf(w, "A6 pagein=%-7d soft=%-5v %12d cycles\n", pageIn, soft, res.Completion)
+				sw.emit(fmt.Sprintf("A6 pagein=%d soft=%v", pageIn, soft), res.Completion,
+					"A6 pagein=%-7d soft=%-5v %12d cycles", pageIn, soft, res.Completion)
 				return res.Completion, nil
 			})
 		}
@@ -464,7 +464,6 @@ type LatencyRow struct {
 // timer-IRQ service latency is recorded with and without the
 // interruptible-instruction mechanism.
 func (sw Sweeper) InterruptLatencyAblation() ([]LatencyRow, error) {
-	w := SyncProgress(sw.Progress)
 	lats := []uint32{16, 256, 4096}
 	var cells []func() (uint64, error)
 	for _, lat := range lats {
@@ -476,31 +475,30 @@ func (sw Sweeper) InterruptLatencyAblation() ([]LatencyRow, error) {
 				if err != nil {
 					return 0, err
 				}
-				m := machine.New(machine.Config{ConfigBytesPerCycle: sw.Scale.ConfigBytesPerCycle()})
-				k := kernel.New(m, kernel.Config{
-					Quantum:   sw.Scale.Quantum(Quantum1ms),
-					Costs:     sw.Scale.Costs(),
-					AtomicCDP: atomic,
-				})
-				prog, err := asm.Assemble(app.Source, k.NextBase())
+				s, err := protean.New(
+					protean.WithScale(sw.Scale.Factor),
+					protean.WithQuantum(sw.Scale.Quantum(Quantum1ms)),
+					protean.WithAtomicCDP(atomic),
+					protean.WithBudget(1<<34),
+				)
 				if err != nil {
 					return 0, err
 				}
-				p, err := k.Spawn(app.Name, prog, app.Images)
+				p, err := s.SpawnProgram(app.Name, app.Source, app.Images)
 				if err != nil {
 					return 0, err
 				}
-				if err := k.Start(); err != nil {
-					return 0, err
-				}
-				if err := k.Run(1 << 34); err != nil {
+				p.Expect(app.Expected)
+				res, err := s.Run(context.Background())
+				if err != nil {
 					return 0, fmt.Errorf("A7 lat=%d atomic=%v: %w", lat, atomic, err)
 				}
-				if p.ExitCode != app.Expected {
-					return 0, fmt.Errorf("A7 lat=%d atomic=%v: checksum mismatch", lat, atomic)
+				if err := res.Err(); err != nil {
+					return 0, fmt.Errorf("A7 lat=%d atomic=%v: %w", lat, atomic, err)
 				}
-				progressf(w, "A7 instr=%-5d atomic=%-5v max-irq-latency=%d\n", lat, atomic, k.Stats.MaxIRQLatency)
-				return k.Stats.MaxIRQLatency, nil
+				sw.emit(fmt.Sprintf("A7 instr=%d atomic=%v", lat, atomic), res.Kernel.MaxIRQLatency,
+					"A7 instr=%-5d atomic=%-5v max-irq-latency=%d", lat, atomic, res.Kernel.MaxIRQLatency)
+				return res.Kernel.MaxIRQLatency, nil
 			})
 		}
 	}
@@ -527,7 +525,6 @@ func (sw Sweeper) MixedWorkload() (*Figure, error) {
 		XLabel: "No. concurrent process instances",
 		YLabel: "Completion time in clock cycles",
 	}
-	w := SyncProgress(sw.Progress)
 	rotation := []workload.Kind{workload.Alpha, workload.Twofish, workload.Echo}
 	var rows []gridSeries
 	for _, pol := range []kernel.PolicyKind{
@@ -538,53 +535,39 @@ func (sw Sweeper) MixedWorkload() (*Figure, error) {
 			if err != nil {
 				return 0, fmt.Errorf("A8 %s n=%d: %w", pol, n, err)
 			}
-			progressf(w, "A8 %-14s n=%d  %12d cycles\n", pol, n, res)
+			sw.emit(fmt.Sprintf("A8 %s n=%d", pol, n), res,
+				"A8 %-14s n=%d  %12d cycles", pol, n, res)
 			return res, nil
 		}})
 	}
 	return sw.instanceGrid(fig, rows)
 }
 
-// runMix runs n instances rotating through the given kinds and returns the
+// runMix runs n instances rotating through the given kinds on one protean
+// session — heterogeneous mixes are first-class there — and returns the
 // last completion cycle, verifying every checksum.
 func runMix(kinds []workload.Kind, n int, scale Scale, pol kernel.PolicyKind, seed int64) (uint64, error) {
-	m := machine.New(machine.Config{ConfigBytesPerCycle: scale.ConfigBytesPerCycle()})
-	k := kernel.New(m, kernel.Config{
-		Quantum: scale.Quantum(Quantum1ms),
-		Policy:  pol,
-		Costs:   scale.Costs(),
-		Seed:    seed,
-	})
-	expected := make([]uint32, 0, n)
+	s, err := protean.New(
+		protean.WithScale(scale.Factor),
+		protean.WithQuantum(scale.Quantum(Quantum1ms)),
+		protean.WithPolicy(pol),
+		protean.WithSeed(seed),
+	)
+	if err != nil {
+		return 0, err
+	}
 	for i := 0; i < n; i++ {
 		kind := kinds[i%len(kinds)]
-		app, err := workload.Build(kind, scale.Items(kind), workload.ModeHWOnly)
-		if err != nil {
+		if _, err := s.Spawn(workloadName(kind, workload.ModeHWOnly), 1, scale.Items(kind.String())); err != nil {
 			return 0, err
 		}
-		prog, err := asm.Assemble(app.Source, k.NextBase())
-		if err != nil {
-			return 0, err
-		}
-		if _, err := k.Spawn(fmt.Sprintf("%s#%d", app.Name, i), prog, app.Images); err != nil {
-			return 0, err
-		}
-		expected = append(expected, app.Expected)
 	}
-	if err := k.Start(); err != nil {
+	res, err := s.Run(context.Background())
+	if err != nil {
 		return 0, err
 	}
-	if err := k.Run(1 << 40); err != nil {
+	if err := res.Err(); err != nil {
 		return 0, err
 	}
-	var last uint64
-	for i, p := range k.Processes() {
-		if p.State != kernel.ProcExited || p.ExitCode != expected[i] {
-			return 0, fmt.Errorf("%s failed (state %v)", p.Name, p.State)
-		}
-		if p.Stats.CompletionCycle > last {
-			last = p.Stats.CompletionCycle
-		}
-	}
-	return last, nil
+	return res.Completion, nil
 }

@@ -1,10 +1,12 @@
 package exp
 
 import (
-	"io"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"protean"
 )
 
 // Sweeper carries sweep-wide configuration for the figure generators.
@@ -18,10 +20,25 @@ type Sweeper struct {
 	Seed  int64
 	// Workers sizes the pool; 0 or negative means GOMAXPROCS.
 	Workers int
-	// Progress receives per-run progress lines. Writes are serialized
-	// through a mutex, but under Workers > 1 lines arrive in completion
+	// Progress receives one structured protean.EventCellDone event per
+	// completed run. The sink must be safe for concurrent use (see
+	// protean.WriterSink); under Workers > 1 events arrive in completion
 	// order, not cell order.
-	Progress Progress
+	Progress protean.Sink
+}
+
+// emit reports one finished sweep cell to the progress sink.
+func (sw Sweeper) emit(label string, cycle uint64, format string, args ...any) {
+	if sw.Progress == nil {
+		return
+	}
+	sw.Progress.Event(protean.Event{
+		Kind:    protean.EventCellDone,
+		Label:   label,
+		Cycle:   cycle,
+		OK:      true,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 func resolveWorkers(n int) int {
@@ -29,31 +46,6 @@ func resolveWorkers(n int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return n
-}
-
-// lockedWriter serializes concurrent progress writes so lines from
-// parallel cells never interleave mid-line.
-type lockedWriter struct {
-	mu sync.Mutex
-	w  io.Writer
-}
-
-func (lw *lockedWriter) Write(p []byte) (int, error) {
-	lw.mu.Lock()
-	defer lw.mu.Unlock()
-	return lw.w.Write(p)
-}
-
-// SyncProgress wraps w so concurrent cells can share it safely. A nil
-// writer stays nil and an already-wrapped writer is returned unchanged.
-func SyncProgress(w Progress) Progress {
-	if w == nil {
-		return nil
-	}
-	if _, ok := w.(*lockedWriter); ok {
-		return w
-	}
-	return &lockedWriter{w: w}
 }
 
 // Sweep runs the cells on a pool of workers goroutines and returns their

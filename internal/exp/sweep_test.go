@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"protean"
 )
 
 func TestSweepOrdersResults(t *testing.T) {
@@ -93,21 +95,18 @@ func TestSweepFigureDeterminism(t *testing.T) {
 }
 
 // TestSweepProgressLinesAtomic checks that concurrent cells never
-// interleave mid-line on a shared progress sink.
+// interleave mid-line on a shared progress sink, and that emitting into a
+// Sweeper without a sink is a no-op.
 func TestSweepProgressLinesAtomic(t *testing.T) {
+	(Sweeper{}).emit("nil-sink", 0, "must not panic")
+
 	var buf bytes.Buffer
-	w := SyncProgress(&buf)
-	if SyncProgress(w) != w {
-		t.Error("double wrap")
-	}
-	if SyncProgress(nil) != nil {
-		t.Error("nil progress must stay nil")
-	}
+	sw := Sweeper{Progress: protean.WriterSink(&buf)}
 	const n = 200
 	cells := make([]func() (int, error), n)
 	for i := 0; i < n; i++ {
 		cells[i] = func() (int, error) {
-			progressf(w, "cell %04d done\n", i)
+			sw.emit(fmt.Sprintf("cell %d", i), uint64(i), "cell %04d done", i)
 			return i, nil
 		}
 	}

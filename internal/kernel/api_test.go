@@ -1,0 +1,125 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"protean/internal/asm"
+)
+
+func TestParsePolicyRoundTripsString(t *testing.T) {
+	kinds := []PolicyKind{PolicyRoundRobin, PolicyRandom, PolicyLRU, PolicySecondChance}
+	for _, kind := range kinds {
+		got, err := ParsePolicy(kind.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", kind.String(), err)
+		}
+		if got != kind {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", kind.String(), got, kind)
+		}
+	}
+	// Command-line short forms.
+	for s, want := range map[string]PolicyKind{
+		"rr":      PolicyRoundRobin,
+		"2chance": PolicySecondChance,
+		"RANDOM":  PolicyRandom,
+	} {
+		if got, err := ParsePolicy(s); err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("fifo"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestProcStateStrings(t *testing.T) {
+	for state, want := range map[ProcState]string{
+		ProcReady: "ready", ProcExited: "exited", ProcKilled: "killed",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(state), got, want)
+		}
+	}
+}
+
+// TestSpawnAddressSpaceExhaustion checks the 32-bit region-base overflow
+// guard: once the process table is deep enough that the next region would
+// wrap the address space, Spawn must error instead of silently aliasing
+// region 0.
+func TestSpawnAddressSpaceExhaustion(t *testing.T) {
+	r := newRig(t, Config{Quantum: 5000})
+	// Simulate a table of already-spawned processes right at the limit:
+	// process n owns [(n+1)<<20, (n+2)<<20), so with 4094 processes the
+	// next region would end at exactly 1<<32 and its base arithmetic wraps.
+	r.k.procs = make([]*Process, 4094)
+	if base := r.k.NextBase(); base != 0xFFF00000 {
+		t.Fatalf("NextBase at 4094 procs = %#x", base)
+	}
+	if _, err := r.k.Spawn("overflow", nil, nil); err == nil {
+		t.Fatal("Spawn beyond the 32-bit address space succeeded")
+	} else if want := "exhaust the 32-bit address space"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("Spawn error %q does not mention %q", err, want)
+	}
+	// One region earlier the guard passes; the spawn then fails only
+	// because the 16 MB test machine cannot back a region at ~4 GB, which
+	// proves the overflow check ran (and passed) first.
+	r.k.procs = r.k.procs[:4093]
+	prog, err := asm.Assemble("mov r0, #0\n swi 0\n", r.k.NextBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.k.Spawn("fits", prog, nil); err == nil {
+		t.Fatal("expected LoadProgram failure on the small test machine")
+	} else if strings.Contains(err.Error(), "exhaust") {
+		t.Fatalf("region at 4093 procs wrongly rejected as exhausted: %v", err)
+	}
+}
+
+// TestRunUntilStopHook checks that a stop hook cancels a run promptly and
+// that a nil hook leaves Run behaviour unchanged.
+func TestRunUntilStopHook(t *testing.T) {
+	r := newRig(t, Config{Quantum: 5000})
+	// An infinite loop: only the stop hook can end this run.
+	r.spawnSrc(t, "spin", "loop:\n b loop\n", nil)
+	if err := r.k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stopErr := errors.New("cancelled")
+	polls := 0
+	err := r.k.RunUntil(1<<40, func() error {
+		polls++
+		if polls > 3 {
+			return stopErr
+		}
+		return nil
+	})
+	if !errors.Is(err, stopErr) {
+		t.Fatalf("RunUntil = %v, want the stop error", err)
+	}
+	// The poll cadence bounds how much simulation ran after cancellation.
+	if r.k.M.Cycles() > 16*stopPollInstrs*4 {
+		t.Errorf("run continued too long after stop: %d cycles", r.k.M.Cycles())
+	}
+}
+
+// TestOnProcExitHook checks that the exit observer fires once per process
+// with final statistics.
+func TestOnProcExitHook(t *testing.T) {
+	var exits []string
+	cfg := Config{Quantum: 5000}
+	cfg.OnProcExit = func(p *Process) {
+		if p.Stats.CompletionCycle == 0 {
+			t.Errorf("%s: completion cycle not final in OnProcExit", p.Name)
+		}
+		exits = append(exits, p.Name)
+	}
+	r := newRig(t, cfg)
+	r.spawnSrc(t, "a", "mov r0, #1\n swi 0\n", nil)
+	r.spawnSrc(t, "b", "mov r0, #2\n swi 0\n", nil)
+	r.run(t, 1<<20)
+	if len(exits) != 2 {
+		t.Fatalf("OnProcExit fired %d times, want 2 (%v)", len(exits), exits)
+	}
+}

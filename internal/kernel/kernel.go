@@ -106,6 +106,10 @@ type Config struct {
 	// debugging aid (cmd/proteansim -disasm streams a disassembly through
 	// it).
 	InstrHook func(pc uint32)
+	// OnProcExit, if set, observes every process the moment it leaves the
+	// ready state (exit or kill), after its completion statistics are
+	// final. The protean facade feeds its progress sink from this.
+	OnProcExit func(p *Process)
 }
 
 // ProcState is a process's lifecycle state.
@@ -117,6 +121,19 @@ const (
 	ProcExited
 	ProcKilled
 )
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcReady:
+		return "ready"
+	case ProcExited:
+		return "exited"
+	case ProcKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("state%d", int(s))
+	}
+}
 
 // ProcStats records per-process scheduling activity.
 type ProcStats struct {
@@ -207,7 +224,9 @@ func (k *Kernel) log(kind trace.Kind, pid uint32, note string) {
 }
 
 // NextBase returns the memory region base the next spawned process will
-// receive; workload builders assemble their programs at this origin.
+// receive; workload builders assemble their programs at this origin. The
+// value is only meaningful while the 32-bit address space has room for
+// another region — Spawn reports the error when it does not.
 func (k *Kernel) NextBase() uint32 {
 	return uint32(len(k.procs)+1) * RegionSize
 }
@@ -217,6 +236,13 @@ func (k *Kernel) NextBase() uint32 {
 // the application's circuit table, referenced by index from the
 // registration syscall.
 func (k *Kernel) Spawn(name string, prog *asm.Program, images []*core.Image) (*Process, error) {
+	// The region [base, base+RegionSize) must fit the 32-bit address
+	// space without wrapping; past ~4094 processes uint32(NextBase) would
+	// silently alias region 0.
+	if end := (uint64(len(k.procs)) + 2) * RegionSize; end > 1<<32-1 {
+		return nil, fmt.Errorf("kernel: cannot spawn %q: %d processes exhaust the 32-bit address space (%d-byte regions)",
+			name, len(k.procs), RegionSize)
+	}
 	base := k.NextBase()
 	if prog.Origin < base || prog.End() > base+RegionSize {
 		return nil, fmt.Errorf("kernel: program %q at %#x..%#x outside region %#x", name, prog.Origin, prog.End(), base)
@@ -310,10 +336,28 @@ func (k *Kernel) Start() error {
 // Run executes until every process has exited or the cycle budget is
 // exhausted.
 func (k *Kernel) Run(maxCycles uint64) error {
+	return k.RunUntil(maxCycles, nil)
+}
+
+// stopPollInstrs is how many instructions RunUntil executes between polls
+// of its stop hook: frequent enough that cancellation lands within
+// microseconds of wall time, rare enough to stay off the hot path.
+const stopPollInstrs = 4096
+
+// RunUntil executes like Run but additionally polls stop (when non-nil)
+// every stopPollInstrs instructions; the first non-nil error it returns
+// aborts the run with that error. This is how context cancellation is
+// threaded through the simulation loop without a per-instruction check.
+func (k *Kernel) RunUntil(maxCycles uint64, stop func() error) error {
 	cpu := k.M.CPU
-	for {
+	for n := uint64(0); ; n++ {
 		if k.allDone() {
 			return nil
+		}
+		if stop != nil && n%stopPollInstrs == 0 {
+			if err := stop(); err != nil {
+				return err
+			}
 		}
 		if k.M.Cycles() > maxCycles {
 			return fmt.Errorf("kernel: cycle budget %d exhausted (%d processes still running)", maxCycles, k.readyCount())
@@ -532,6 +576,9 @@ func (k *Kernel) exit(p *Process, state ProcState) {
 	p.Stats.CompletionCycle = k.M.Cycles()
 	k.CIS.releaseProcess(p)
 	k.log(trace.EvExit, p.PID, fmt.Sprintf("code=%d", p.ExitCode))
+	if k.cfg.OnProcExit != nil {
+		k.cfg.OnProcExit(p)
+	}
 	next := k.nextReady(k.current)
 	k.current = -1
 	if next >= 0 {

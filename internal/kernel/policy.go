@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // PolicyKind selects the CIS circuit-replacement policy. The paper's
@@ -32,6 +33,23 @@ func (p PolicyKind) String() string {
 	default:
 		return fmt.Sprintf("policy%d", int(p))
 	}
+}
+
+// ParsePolicy is the inverse of PolicyKind.String: it accepts every
+// canonical name ("round-robin", "random", "lru", "second-chance") plus the
+// short command-line spellings "rr" and "2chance", case-insensitively.
+func ParsePolicy(s string) (PolicyKind, error) {
+	switch strings.ToLower(s) {
+	case "rr", "round-robin":
+		return PolicyRoundRobin, nil
+	case "random":
+		return PolicyRandom, nil
+	case "lru":
+		return PolicyLRU, nil
+	case "2chance", "second-chance":
+		return PolicySecondChance, nil
+	}
+	return 0, fmt.Errorf("kernel: unknown policy %q (want round-robin, random, lru or second-chance)", s)
 }
 
 // policy picks eviction victims among occupied PFUs.

@@ -1,0 +1,324 @@
+// Package protean is the public face of the ProteanARM reproduction of
+// "Managing a Reconfigurable Processor in a General Purpose Workstation
+// Environment" (Dales, 2003): one API for building and running simulated
+// sessions of the POrSCHE kernel managing applications that use custom
+// instructions on a reconfigurable functional unit.
+//
+// A Session is a machine plus a booted kernel. Configure it with
+// functional options, populate it from the named-workload registry (the
+// paper's alpha-blend, twofish and echo applications are built in, and
+// heterogeneous mixes are just repeated Spawn calls), or load custom
+// programs with SpawnProgram, then Run it under a context:
+//
+//	s, _ := protean.New(protean.WithQuantum(protean.Quantum1ms),
+//	    protean.WithPolicy(protean.PolicyRandom))
+//	s.Spawn("alpha", 2, 30_000)
+//	s.Spawn("twofish", 1, 400)
+//	res, err := s.Run(ctx)
+//
+// Run is cancellable through the context and returns a structured Result:
+// per-process completions, CIS / kernel / RFU statistics and console
+// output, with Result.Err verifying every built-in workload's checksum
+// against its Go model.
+package protean
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"protean/internal/asm"
+	"protean/internal/bus"
+	"protean/internal/core"
+	"protean/internal/kernel"
+	"protean/internal/machine"
+	"protean/internal/trace"
+)
+
+// Proc is a handle to one spawned process.
+type Proc struct {
+	PID  uint32
+	Name string
+	// Workload is the registry name the process came from, empty for
+	// SpawnProgram processes.
+	Workload string
+
+	expected *uint32
+}
+
+// Expect declares the exit code the process must return; Result.Err then
+// verifies it. It returns the handle for chaining after SpawnProgram.
+func (p *Proc) Expect(code uint32) *Proc {
+	c := code
+	p.expected = &c
+	return p
+}
+
+// Session is one configured machine + kernel instance. Sessions are not
+// safe for concurrent use; run many sessions in parallel instead (each is
+// fully independent — internal/exp's sweep engine does exactly that).
+type Session struct {
+	cfg   config
+	m     *machine.Machine
+	k     *kernel.Kernel
+	tl    *trace.Log
+	procs []*Proc
+	ran   bool
+	// progCache memoizes built programs per (workload, items), so
+	// repeated Spawn calls — a heterogeneous rotation, say — reuse one
+	// circuit-image template per workload. Identical templates are what
+	// the CIS sharing mode (WithSharing) matches on.
+	progCache map[progKey]Program
+}
+
+type progKey struct {
+	workload string
+	items    int
+}
+
+// New builds a session: a ProteanARM machine with a booted POrSCHE kernel,
+// parameterised by functional options. The zero configuration is the
+// paper's default machine — 4 PFUs, 10 ms quantum, round-robin
+// replacement, full-speed (scale 1) simulation.
+func New(opts ...Option) (*Session, error) {
+	var c config
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	if c.quantum == 0 {
+		c.quantum = c.scale.Quantum(Quantum10ms)
+	}
+	if !c.costsSet {
+		c.costs = c.scale.Costs()
+	}
+	if c.budget == 0 {
+		c.budget = 1 << 40
+	}
+
+	m := machine.New(machine.Config{
+		ConfigBytesPerCycle: c.scale.ConfigBytesPerCycle(),
+		RFU:                 core.Config{TLB1Entries: c.tlb1},
+	})
+	var tl *trace.Log
+	if c.traceCap > 0 {
+		tl = trace.New(c.traceCap)
+	}
+	kcfg := kernel.Config{
+		Quantum:          c.quantum,
+		Policy:           c.policy,
+		SoftDispatch:     c.soft,
+		Sharing:          c.sharing,
+		Costs:            c.costs,
+		Seed:             c.seed,
+		Trace:            tl,
+		FullReadback:     c.fullReadback,
+		PageInCycles:     c.pageIn,
+		AtomicCDP:        c.atomicCDP,
+		MaxFaultsPerProc: c.maxFaults,
+	}
+	if c.disasmW != nil && c.disasmN > 0 {
+		left := c.disasmN
+		kcfg.InstrHook = func(pc uint32) {
+			if left <= 0 {
+				return
+			}
+			left--
+			if w, fault := m.Bus.Read32(pc, bus.Fetch); fault == nil {
+				fmt.Fprintf(c.disasmW, "%08x  %08x  %s\n", pc, w, asm.Disassemble(w, pc))
+			}
+		}
+	}
+	if c.sink != nil {
+		sink := c.sink
+		kcfg.OnProcExit = func(p *kernel.Process) {
+			sink.Event(Event{
+				Kind:  EventProcessExit,
+				Label: p.Name,
+				PID:   p.PID,
+				Cycle: p.Stats.CompletionCycle,
+				OK:    p.State == kernel.ProcExited,
+				Message: fmt.Sprintf("proc %-20s pid=%-4d %s code=%d cycle=%d",
+					p.Name, p.PID, p.State, p.ExitCode, p.Stats.CompletionCycle),
+			})
+		}
+	}
+	s := &Session{cfg: c, m: m, tl: tl}
+	s.k = kernel.New(m, kcfg)
+	return s, nil
+}
+
+// Quantum returns the effective scheduling quantum in cycles, after the
+// default (the session scale's 10 ms) has been applied.
+func (s *Session) Quantum() uint32 { return s.cfg.quantum }
+
+// NumPFUs returns the number of programmable function units on the
+// session's reconfigurable array.
+func (s *Session) NumPFUs() int { return s.m.RFU.NumPFUs() }
+
+// Spawn creates instances of a registered workload. items is the
+// work-unit count per instance; pass items <= 0 for the workload's
+// scaled default. Mixing workloads is just repeated Spawn calls on one
+// session. Processes are named "program#pid", where program is the build
+// variant's name (e.g. "alpha-hw-nosoft#1"); use the returned handles or
+// ProcResult.Workload to correlate results with registry names.
+func (s *Session) Spawn(workload string, instances, items int) ([]*Proc, error) {
+	if s.ran {
+		return nil, errAlreadyRan
+	}
+	w, ok := lookupWorkload(workload)
+	if !ok {
+		return nil, fmt.Errorf("protean: unknown workload %q (registered: %v)", workload, Workloads())
+	}
+	if instances <= 0 {
+		return nil, fmt.Errorf("protean: need at least one instance of %q", workload)
+	}
+	if items <= 0 {
+		items = s.cfg.scale.Items(workload)
+		if items <= 0 {
+			return nil, fmt.Errorf("protean: workload %q declares no default work-unit count; pass items > 0", workload)
+		}
+	}
+	key := progKey{workload: workload, items: items}
+	prog, cached := s.progCache[key]
+	if !cached {
+		var err error
+		prog, err = w.Build(items, s.cfg.soft)
+		if err != nil {
+			return nil, fmt.Errorf("protean: build %q: %w", workload, err)
+		}
+		if s.progCache == nil {
+			s.progCache = map[progKey]Program{}
+		}
+		s.progCache[key] = prog
+	}
+	procs := make([]*Proc, 0, instances)
+	for i := 0; i < instances; i++ {
+		name := fmt.Sprintf("%s#%d", prog.Name, len(s.procs)+1)
+		p, err := s.spawn(name, workload, prog)
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+// SpawnProgram assembles and loads a custom program with its circuit
+// table, for applications outside the registry. Use Expect on the
+// returned handle to have Result.Err verify the exit code.
+func (s *Session) SpawnProgram(name, source string, images []*Image) (*Proc, error) {
+	if s.ran {
+		return nil, errAlreadyRan
+	}
+	return s.spawn(name, "", Program{Name: name, Source: source, Images: images})
+}
+
+func (s *Session) spawn(name, workload string, prog Program) (*Proc, error) {
+	assembled, err := asm.Assemble(prog.Source, s.k.NextBase())
+	if err != nil {
+		return nil, fmt.Errorf("protean: assemble %s: %w", name, err)
+	}
+	kp, err := s.k.Spawn(name, assembled, prog.Images)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{PID: kp.PID, Name: name, Workload: workload, expected: prog.Expected}
+	s.procs = append(s.procs, p)
+	return p, nil
+}
+
+var errAlreadyRan = errors.New("protean: session already run — build a new Session per run")
+
+// Run executes the session until every process has finished, the cycle
+// budget is exhausted, or ctx is cancelled. Cancellation is polled every
+// few thousand simulated instructions, so a cancelled context stops the
+// simulation promptly with an error wrapping ctx.Err(). On success the
+// returned Result carries every process outcome and the run statistics;
+// call Result.Err to verify checksums.
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	if s.ran {
+		return nil, errAlreadyRan
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(s.procs) == 0 {
+		return nil, fmt.Errorf("protean: nothing to run — spawn a workload first")
+	}
+	s.ran = true
+	s.emit(Event{
+		Kind:  EventRunStart,
+		Procs: len(s.procs),
+		Message: fmt.Sprintf("run: %d processes, quantum %d, policy %s",
+			len(s.procs), s.cfg.quantum, s.cfg.policy),
+	})
+	if err := s.k.Start(); err != nil {
+		return nil, err
+	}
+	var stop func() error
+	if ctx.Done() != nil {
+		stop = ctx.Err
+	}
+	if err := s.k.RunUntil(s.cfg.budget, stop); err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return nil, fmt.Errorf("protean: run cancelled after %d cycles: %w", s.m.Cycles(), err)
+		}
+		return nil, err
+	}
+	res := s.result()
+	s.emit(Event{
+		Kind:  EventRunDone,
+		Procs: len(s.procs),
+		Cycle: res.Cycles,
+		OK:    res.Err() == nil,
+		Message: fmt.Sprintf("done: %d processes in %d cycles (%d context switches, %d faults)",
+			len(s.procs), res.Cycles, res.Kernel.ContextSwitches, res.CIS.Faults),
+	})
+	return res, nil
+}
+
+func (s *Session) emit(e Event) {
+	if s.cfg.sink != nil {
+		s.cfg.sink.Event(e)
+	}
+}
+
+func (s *Session) result() *Result {
+	res := &Result{
+		Cycles:  s.m.Cycles(),
+		CIS:     s.k.CIS.Stats,
+		Kernel:  s.k.Stats,
+		RFU:     s.m.RFU.Stats,
+		TLB1:    TLBStats{Lookups: s.m.RFU.TLB1.Lookups, Misses: s.m.RFU.TLB1.Misses},
+		TLB2:    TLBStats{Lookups: s.m.RFU.TLB2.Lookups, Misses: s.m.RFU.TLB2.Misses},
+		Console: s.k.Console(),
+	}
+	if s.tl != nil {
+		res.Trace = s.tl.String()
+	}
+	for i, kp := range s.k.Processes() {
+		pr := ProcResult{
+			PID:        kp.PID,
+			Name:       kp.Name,
+			Workload:   s.procs[i].Workload,
+			State:      kp.State,
+			ExitCode:   kp.ExitCode,
+			Expected:   s.procs[i].expected,
+			Start:      kp.Stats.StartCycle,
+			Completion: kp.Stats.CompletionCycle,
+			Switches:   kp.Stats.Switches,
+			Faults:     kp.Stats.Faults,
+			Instrs:     kp.Stats.UserInstrs,
+		}
+		if pr.Completion > res.Completion {
+			res.Completion = pr.Completion
+		}
+		res.Procs = append(res.Procs, pr)
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+package protean
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Program is an assemblable guest program: ARM assembly source plus the
+// circuit table its registration syscalls index. It is what a workload
+// builder produces and what Session.SpawnProgram loads.
+type Program struct {
+	// Name labels the process; instances spawned from a registry workload
+	// get "name#pid".
+	Name string
+	// Source is the ARM assembly, assembled at the process's region base.
+	Source string
+	// Images is the circuit table referenced by index from the
+	// registration syscall (SWI 3).
+	Images []*Image
+	// Expected, when non-nil, is the exit code every instance must return;
+	// Result.Err reports mismatches. The built-in workloads set it to
+	// their Go-model checksum so every run doubles as a correctness test.
+	Expected *uint32
+}
+
+// Workload is a named, spawnable application in the registry.
+type Workload struct {
+	// Name is the registry key, e.g. "alpha" or "twofish/baseline".
+	Name string
+	// BaseItems is the paper-scale work-unit count that Scale.Items
+	// divides; 0 means the workload has no default and Session.Spawn
+	// requires an explicit items count.
+	BaseItems int
+	// Build constructs the program for one instance. items is the
+	// work-unit count; soft reports whether the session dispatches to
+	// software alternatives under contention, so auto-mode workloads can
+	// register them only when they will be used.
+	Build func(items int, soft bool) (Program, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Workload
+}{m: map[string]Workload{}}
+
+// RegisterWorkload adds a named workload to the registry, making it
+// spawnable by every Session. Registering an empty name, a nil builder or
+// a duplicate name is an error.
+func RegisterWorkload(w Workload) error {
+	if w.Name == "" {
+		return fmt.Errorf("protean: workload needs a name")
+	}
+	if w.Build == nil {
+		return fmt.Errorf("protean: workload %q needs a Build function", w.Name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[w.Name]; dup {
+		return fmt.Errorf("protean: workload %q already registered", w.Name)
+	}
+	registry.m[w.Name] = w
+	return nil
+}
+
+// mustRegister is RegisterWorkload for init-time built-ins.
+func mustRegister(w Workload) {
+	if err := RegisterWorkload(w); err != nil {
+		panic(err)
+	}
+}
+
+// Workloads lists every registered workload name, sorted.
+func Workloads() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupWorkload resolves a registry name.
+func lookupWorkload(name string) (Workload, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	w, ok := registry.m[name]
+	return w, ok
+}

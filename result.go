@@ -1,0 +1,131 @@
+package protean
+
+import (
+	"fmt"
+
+	"protean/internal/core"
+	"protean/internal/kernel"
+)
+
+// Re-exported kernel and machine vocabulary, so facade users never import
+// the internal packages for ordinary sessions. (Custom circuit images are
+// the one exception: they are built with internal/core and
+// internal/fabric, which the examples demonstrate.)
+type (
+	// Policy selects the CIS circuit-replacement policy.
+	Policy = kernel.PolicyKind
+	// CostModel charges kernel work to the machine clock, in cycles.
+	CostModel = kernel.CostModel
+	// CISStats aggregates Custom Instruction Scheduler activity.
+	CISStats = kernel.CISStats
+	// KernelStats aggregates scheduler activity.
+	KernelStats = kernel.KernelStats
+	// RFUStats aggregates reconfigurable-functional-unit dispatch activity.
+	RFUStats = core.Stats
+	// ProcState is a process's lifecycle state.
+	ProcState = kernel.ProcState
+	// Image is a loadable circuit image (behavioural or gate-level).
+	Image = core.Image
+)
+
+// Replacement policies.
+const (
+	PolicyRoundRobin   = kernel.PolicyRoundRobin
+	PolicyRandom       = kernel.PolicyRandom
+	PolicyLRU          = kernel.PolicyLRU
+	PolicySecondChance = kernel.PolicySecondChance
+)
+
+// Process states.
+const (
+	ProcReady  = kernel.ProcReady
+	ProcExited = kernel.ProcExited
+	ProcKilled = kernel.ProcKilled
+)
+
+// DefaultCosts is the ARM7-calibrated kernel cost model sessions use at
+// scale 1.
+var DefaultCosts = kernel.DefaultCosts
+
+// ParsePolicy is the inverse of Policy.String; it also accepts the short
+// command-line spellings "rr" and "2chance".
+func ParsePolicy(s string) (Policy, error) { return kernel.ParsePolicy(s) }
+
+// TLBStats counts CAM probes of one dispatch TLB.
+type TLBStats struct {
+	Lookups uint64
+	Misses  uint64
+}
+
+// ProcResult is one process's outcome.
+type ProcResult struct {
+	PID  uint32
+	Name string
+	// Workload is the registry name the process was spawned from, empty
+	// for SpawnProgram processes.
+	Workload string
+	State    ProcState
+	ExitCode uint32
+	// Expected is the exit code the process was required to return, nil
+	// if none was declared.
+	Expected *uint32
+	// Start and Completion are the machine cycles at first dispatch and
+	// at exit.
+	Start      uint64
+	Completion uint64
+	Switches   uint64
+	Faults     uint64
+	Instrs     uint64
+}
+
+// OK reports whether the process exited cleanly with the expected code.
+func (p ProcResult) OK() bool {
+	return p.State == ProcExited && (p.Expected == nil || p.ExitCode == *p.Expected)
+}
+
+// Result is the structured outcome of Session.Run.
+type Result struct {
+	// Cycles is the total simulated machine time.
+	Cycles uint64
+	// Completion is the cycle at which the last process finished — the
+	// y-axis of the paper's figures.
+	Completion uint64
+	// Procs lists every process in spawn order.
+	Procs []ProcResult
+	// CIS, Kernel and RFU aggregate the run's management activity.
+	CIS    CISStats
+	Kernel KernelStats
+	RFU    RFUStats
+	// TLB1 and TLB2 count dispatch-TLB probes.
+	TLB1 TLBStats
+	TLB2 TLBStats
+	// Console is everything the processes printed.
+	Console string
+	// Trace is the kernel event-trace tail, when WithTrace enabled it.
+	Trace string
+}
+
+// Err returns nil when every process exited cleanly with its expected
+// code, and an error describing the first failure otherwise.
+func (r *Result) Err() error {
+	for _, p := range r.Procs {
+		if p.State != ProcExited {
+			return fmt.Errorf("protean: %s did not exit cleanly (%v)", p.Name, p.State)
+		}
+		if p.Expected != nil && p.ExitCode != *p.Expected {
+			return fmt.Errorf("protean: %s checksum %#x, want %#x — simulation corrupted",
+				p.Name, p.ExitCode, *p.Expected)
+		}
+	}
+	return nil
+}
+
+// Proc returns the result for a process by name.
+func (r *Result) Proc(name string) (ProcResult, bool) {
+	for _, p := range r.Procs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ProcResult{}, false
+}

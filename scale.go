@@ -1,0 +1,91 @@
+package protean
+
+// Paper-scale constants: the ProteanARM is assumed to clock at 100 MHz,
+// so the paper's scheduling quanta translate to cycles as below.
+const (
+	Quantum10ms  = 1_000_000
+	Quantum1ms   = 100_000
+	Quantum100ms = 10_000_000 // the Windows NT / BSD batch quantum of §5.1.3
+)
+
+// Scale shrinks simulations by an integer factor S while preserving the
+// ratios that determine the paper figures' shape:
+//
+//   - quanta are divided by S (so work-units per quantum shrink),
+//   - per-instance work is divided by S (so quanta per run are preserved),
+//   - configuration-port bandwidth is multiplied by S (so the
+//     configuration cost : quantum ratio — the key quantity behind the
+//     1 ms degradation — is exactly preserved),
+//   - kernel management costs are divided by S (same reason).
+//
+// Scale 1 (the zero value) is the paper-size experiment. Sessions adopt a
+// scale through WithScale.
+type Scale struct {
+	Factor int
+}
+
+func (s Scale) factor() int {
+	if s.Factor <= 0 {
+		return 1
+	}
+	return s.Factor
+}
+
+// Items returns the scaled default work-unit count for a registered
+// workload, or 0 if the name is unknown or the workload declares no
+// paper-scale BaseItems.
+func (s Scale) Items(workload string) int {
+	w, ok := lookupWorkload(workload)
+	if !ok || w.BaseItems <= 0 {
+		return 0
+	}
+	n := w.BaseItems / s.factor()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Quantum scales a paper-scale quantum, clamping at 100 cycles.
+func (s Scale) Quantum(cycles uint32) uint32 {
+	q := cycles / uint32(s.factor())
+	if q < 100 {
+		q = 100
+	}
+	return q
+}
+
+// Cycles scales a paper-scale cycle cost; a nonzero cost never scales
+// below 1 cycle.
+func (s Scale) Cycles(v uint32) uint32 {
+	out := v / uint32(s.factor())
+	if v > 0 && out == 0 {
+		out = 1
+	}
+	return out
+}
+
+// Costs returns the scaled kernel cost model.
+func (s Scale) Costs() CostModel {
+	div := func(v uint32) uint32 {
+		v /= uint32(s.factor())
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	d := DefaultCosts
+	return CostModel{
+		ContextSwitch:    div(d.ContextSwitch),
+		FaultEntry:       div(d.FaultEntry),
+		SyscallEntry:     div(d.SyscallEntry),
+		MapInstall:       div(d.MapInstall),
+		ScheduleDecision: div(d.ScheduleDecision),
+	}
+}
+
+// ConfigBytesPerCycle returns the scaled configuration-port bandwidth. At
+// scale 1 this is 1 byte/cycle — an 8-bit configuration port at core
+// clock, which makes a full 54 KB load cost ~54k cycles: 5.4% of a 10 ms
+// quantum but 54% of a 1 ms quantum, the asymmetry behind Figure 2.
+func (s Scale) ConfigBytesPerCycle() uint32 { return uint32(s.factor()) }
