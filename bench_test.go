@@ -7,6 +7,7 @@ package protean_test
 
 import (
 	"testing"
+	"time"
 
 	"protean/internal/arm"
 	"protean/internal/asm"
@@ -193,7 +194,7 @@ spin:
 // cycle.
 func BenchmarkBehaviouralPFU(b *testing.B) {
 	img := workload.AlphaImage()
-	m, err := img.New()
+	m, err := img.NewInstance()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -204,7 +205,8 @@ func BenchmarkBehaviouralPFU(b *testing.B) {
 }
 
 // BenchmarkGatePFU measures one gate-level fabric cycle of the placed
-// alpha-blend circuit (500-CLB array).
+// alpha-blend circuit (500-CLB array) on the interpretive reference
+// engine. Compare with BenchmarkCompiledPFU.
 func BenchmarkGatePFU(b *testing.B) {
 	n := fabric.AlphaBlend()
 	fabric.Optimize(n)
@@ -222,8 +224,45 @@ func BenchmarkGatePFU(b *testing.B) {
 	}
 }
 
-// BenchmarkConfigLoad measures a full PFU configuration (image
-// instantiation + reset), the operation the CIS performs on every load.
+// BenchmarkCompiledPFU measures the same gate-level cycle on the compiled
+// execution engine, and reports the speedup over the interpretive step
+// (measured inline on the identical configuration) as a custom metric.
+func BenchmarkCompiledPFU(b *testing.B) {
+	n := fabric.AlphaBlend()
+	fabric.Optimize(n)
+	cfg, _, err := fabric.Place(n, fabric.DefaultPFUSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := fabric.Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := prog.NewInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Step(uint32(i), ^uint32(i), i%8 == 0)
+	}
+	b.StopTimer()
+	compiledPerOp := b.Elapsed().Seconds() / float64(b.N)
+	pfu, err := fabric.NewPFU(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const probe = 20_000
+	start := time.Now()
+	for i := 0; i < probe; i++ {
+		pfu.Step(uint32(i), ^uint32(i), i%8 == 0)
+	}
+	gatePerOp := time.Since(start).Seconds() / probe
+	if compiledPerOp > 0 {
+		b.ReportMetric(gatePerOp/compiledPerOp, "speedup-vs-gate-x")
+	}
+}
+
+// BenchmarkConfigLoad measures a full PFU configuration (instance
+// stamp-out + reset), the operation the CIS performs on every load, for
+// the behavioural alpha image.
 func BenchmarkConfigLoad(b *testing.B) {
 	rfu := core.New(core.DefaultConfig)
 	img := workload.AlphaImage()
@@ -232,6 +271,70 @@ func BenchmarkConfigLoad(b *testing.B) {
 		if _, err := rfu.LoadImage(i%4, img); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConfigLoadGate measures the same CIS load for the gate-level
+// image: after the compile-once rework this stamps an instance of the
+// shared compiled program instead of decoding the 54 KB bitstream and
+// rebuilding a PFU on every load.
+func BenchmarkConfigLoadGate(b *testing.B) {
+	rfu := core.New(core.DefaultConfig)
+	img, err := workload.AlphaGateImage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rfu.LoadImage(i%4, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstanceStampOut measures stamping one execution-model
+// instance from the gate image's shared compiled program, and reports the
+// speedup over the old decode-per-load path (fabric.Decode + NewPFU per
+// configuration, measured inline) as a custom metric.
+func BenchmarkInstanceStampOut(b *testing.B) {
+	img, err := workload.AlphaGateImage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.NewInstance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stampPerOp := b.Elapsed().Seconds() / float64(b.N)
+	// The old per-load path: decode the full static bitstream and build an
+	// interpretive PFU from it.
+	n := fabric.AlphaBlend()
+	fabric.Optimize(n)
+	cfg, _, err := fabric.Place(n, fabric.DefaultPFUSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits, err := fabric.EncodeStatic(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const probe = 100
+	start := time.Now()
+	for i := 0; i < probe; i++ {
+		decoded, err := fabric.Decode(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fabric.NewPFU(decoded.Config); err != nil {
+			b.Fatal(err)
+		}
+	}
+	decodePerOp := time.Since(start).Seconds() / probe
+	if stampPerOp > 0 {
+		b.ReportMetric(decodePerOp/stampPerOp, "speedup-vs-decode-x")
 	}
 }
 

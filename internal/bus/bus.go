@@ -79,12 +79,21 @@ type mapping struct {
 	base   uint32
 	limit  uint32 // inclusive upper bound
 	region Region
+	// w32 and ws are the region's optional fast-path interfaces, resolved
+	// once at Map time so the per-access path never type-asserts.
+	w32 Word32Region
+	ws  WaitStater
 }
 
 // Bus is the system interconnect. It is not safe for concurrent use; the
 // simulator is single-threaded per machine.
 type Bus struct {
 	maps []mapping
+
+	// hot caches the most recently hit mapping: almost every access in a
+	// running machine lands in RAM, so the common case is two compares
+	// instead of a binary search.
+	hot mapping
 
 	// WaitCycles accumulates wait-state cycles since the last TakeWaits
 	// call. The CPU adds these to its cycle count.
@@ -110,7 +119,10 @@ func (b *Bus) Map(base uint32, r Region) error {
 				base, limit, m.base, m.limit)
 		}
 	}
-	b.maps = append(b.maps, mapping{base, limit, r})
+	m := mapping{base: base, limit: limit, region: r}
+	m.w32, _ = r.(Word32Region)
+	m.ws, _ = r.(WaitStater)
+	b.maps = append(b.maps, m)
 	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
 	return nil
 }
@@ -123,27 +135,35 @@ func (b *Bus) MustMap(base uint32, r Region) {
 	}
 }
 
-func (b *Bus) find(addr uint32) (mapping, bool) {
+func (b *Bus) find(addr uint32) (*mapping, bool) {
+	// Fast path: the last mapping hit (regions never overlap, so a stale
+	// hot entry can only miss, never mis-route). Returned by pointer —
+	// the mapping struct is seven words, too big to copy per access.
+	h := &b.hot
+	if h.region != nil && addr >= h.base && addr <= h.limit {
+		return h, true
+	}
 	// Binary search over sorted, non-overlapping mappings.
 	lo, hi := 0, len(b.maps)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		m := b.maps[mid]
+		m := &b.maps[mid]
 		switch {
 		case addr < m.base:
 			hi = mid - 1
 		case addr > m.limit:
 			lo = mid + 1
 		default:
-			return m, true
+			b.hot = *m
+			return h, true
 		}
 	}
-	return mapping{}, false
+	return nil, false
 }
 
-func (b *Bus) charge(r Region) {
-	if ws, ok := r.(WaitStater); ok {
-		b.waitCycles += uint64(ws.WaitStates())
+func (b *Bus) charge(m *mapping) {
+	if m.ws != nil {
+		b.waitCycles += uint64(m.ws.WaitStates())
 	}
 }
 
@@ -160,7 +180,7 @@ func (b *Bus) Read8(addr uint32, kind Access) (byte, *Fault) {
 	if !ok {
 		return 0, &Fault{addr, kind, "unmapped"}
 	}
-	b.charge(m.region)
+	b.charge(m)
 	v, ok := m.region.Read8(addr - m.base)
 	if !ok {
 		return 0, &Fault{addr, kind, "region rejected read"}
@@ -174,7 +194,7 @@ func (b *Bus) Write8(addr uint32, v byte) *Fault {
 	if !ok {
 		return &Fault{addr, Store, "unmapped"}
 	}
-	b.charge(m.region)
+	b.charge(m)
 	if !m.region.Write8(addr-m.base, v) {
 		return &Fault{addr, Store, "region rejected write"}
 	}
@@ -206,9 +226,9 @@ func (b *Bus) Write16(addr uint32, v uint16) *Fault {
 // Read32 reads a little-endian word. addr must be word aligned.
 func (b *Bus) Read32(addr uint32, kind Access) (uint32, *Fault) {
 	if m, ok := b.find(addr); ok {
-		if w, ok32 := m.region.(Word32Region); ok32 && addr+3 <= m.limit {
-			b.charge(m.region)
-			v, good := w.Read32(addr - m.base)
+		if m.w32 != nil && addr+3 <= m.limit {
+			b.charge(m)
+			v, good := m.w32.Read32(addr - m.base)
 			if !good {
 				return 0, &Fault{addr, kind, "region rejected read"}
 			}
@@ -229,9 +249,9 @@ func (b *Bus) Read32(addr uint32, kind Access) (uint32, *Fault) {
 // Write32 writes a little-endian word.
 func (b *Bus) Write32(addr uint32, v uint32) *Fault {
 	if m, ok := b.find(addr); ok {
-		if w, ok32 := m.region.(Word32Region); ok32 && addr+3 <= m.limit {
-			b.charge(m.region)
-			if !w.Write32(addr-m.base, v) {
+		if m.w32 != nil && addr+3 <= m.limit {
+			b.charge(m)
+			if !m.w32.Write32(addr-m.base, v) {
 				return &Fault{addr, Store, "region rejected write"}
 			}
 			return nil

@@ -21,9 +21,13 @@ type Model interface {
 }
 
 // Image is a custom-instruction circuit as shipped inside an application:
-// the static configuration bitstream plus a way to instantiate its
-// execution model. The OS identifies images by pointer; applications refer
-// to them through the registration syscall.
+// the static configuration's costs plus a way to stamp out execution-model
+// instances. All host-side work — decode, placement, validation,
+// compilation — happens once when the image is built; NewInstance is a
+// cheap stamp-out, so the *modeled* configuration cost (StaticBytes
+// crossing the port, charged by the kernel) is the only per-load expense.
+// The OS identifies images by pointer; applications refer to them through
+// the registration syscall.
 type Image struct {
 	// Name identifies the image in traces and reports.
 	Name string
@@ -41,15 +45,29 @@ type Image struct {
 	// alternative keeps its state in process memory, the circuit in CLB
 	// registers, and the OS cannot translate between them.
 	Stateful bool
-	// New instantiates the circuit's execution model.
-	New func() (Model, error)
+
+	// newInstance stamps out one execution model of the circuit.
+	newInstance func() (Model, error)
+}
+
+// NewInstance stamps out a fresh execution-model instance of the circuit
+// in its power-on state. Instances share the image's compiled program (for
+// fabric images) but no mutable state, so many may execute concurrently.
+func (img *Image) NewInstance() (Model, error) {
+	m, err := img.newInstance()
+	if err != nil {
+		return nil, fmt.Errorf("core: instantiating %s: %w", img.Name, err)
+	}
+	return m, nil
 }
 
 // NewFabricImage builds an Image from a gate-level netlist: it is
-// optimised, placed onto the PFU array, and encoded to a real bitstream.
-// Every instantiation decodes the bitstream, which doubles as the OS-side
-// configuration validation (combinational loops are rejected, §2's
-// functional security requirement).
+// optimised, placed onto the PFU array and encoded to a real bitstream
+// exactly once. The bitstream is then decoded, validated (combinational
+// loops are rejected — §2's functional security requirement) and compiled
+// into a shared fabric.Compiled program through the process-wide program
+// cache, so identical circuits built anywhere in the process share one
+// compiled program and every instantiation is a cheap stamp-out.
 func NewFabricImage(name string, n *fabric.Netlist, spec fabric.ArraySpec) (*Image, error) {
 	fabric.Optimize(n)
 	cfg, _, err := fabric.Place(n, spec)
@@ -60,38 +78,44 @@ func NewFabricImage(name string, n *fabric.Netlist, spec fabric.ArraySpec) (*Ima
 	if err != nil {
 		return nil, err
 	}
+	return NewBitstreamImage(name, bits)
+}
+
+// NewBitstreamImage builds an Image directly from an encoded static
+// bitstream — the form a real application would ship. Decode, validation
+// and compilation happen once per distinct bitstream process-wide (see
+// SharedProgram); the image's NewInstance stamps instances of the shared
+// compiled program.
+func NewBitstreamImage(name string, bits []byte) (*Image, error) {
+	prog, err := SharedProgram(bits)
+	if err != nil {
+		return nil, fmt.Errorf("core: building %s: %w", name, err)
+	}
+	spec := prog.Spec()
 	return &Image{
 		Name:        name,
 		StaticBytes: len(bits),
 		StateBytes:  fabric.StateBytes(spec),
-		New: func() (Model, error) {
-			img, err := fabric.Decode(bits)
-			if err != nil {
-				return nil, err
-			}
-			p, err := fabric.NewPFU(img.Config)
-			if err != nil {
-				return nil, err
-			}
-			return &fabricModel{p: p}, nil
+		newInstance: func() (Model, error) {
+			return &fabricModel{inst: prog.NewInstance()}, nil
 		},
 	}, nil
 }
 
-// fabricModel adapts fabric.PFU to the Model interface, packing FF state
-// into state-frame bytes.
+// fabricModel adapts a compiled fabric.Instance to the Model interface,
+// packing FF state into state-frame bytes.
 type fabricModel struct {
-	p *fabric.PFU
+	inst *fabric.Instance
 }
 
-func (m *fabricModel) Reset() { m.p.Reset() }
+func (m *fabricModel) Reset() { m.inst.Reset() }
 
 func (m *fabricModel) Step(a, b uint32, init bool) (uint32, bool) {
-	return m.p.Step(a, b, init)
+	return m.inst.Step(a, b, init)
 }
 
 func (m *fabricModel) SaveState() []byte {
-	bits := m.p.SaveState()
+	bits := m.inst.SaveState()
 	out := make([]byte, (len(bits)+7)/8)
 	for i, v := range bits {
 		if v {
@@ -102,7 +126,7 @@ func (m *fabricModel) SaveState() []byte {
 }
 
 func (m *fabricModel) LoadState(state []byte) error {
-	n := m.p.Spec().CLBs()
+	n := m.inst.Spec().CLBs()
 	if len(state) != (n+7)/8 {
 		return fmt.Errorf("core: state image %d bytes, want %d", len(state), (n+7)/8)
 	}
@@ -110,7 +134,7 @@ func (m *fabricModel) LoadState(state []byte) error {
 	for i := range bits {
 		bits[i] = state[i/8]>>(i%8)&1 != 0
 	}
-	return m.p.LoadState(bits)
+	return m.inst.LoadState(bits)
 }
 
 // BehaviouralSpec describes a behavioural circuit model: a cycle-accurate
@@ -128,7 +152,9 @@ type BehaviouralSpec struct {
 	// StateWords is how many 32-bit words of internal state the model
 	// exposes to SaveState/LoadState.
 	StateWords int
-	// Step is the per-clock behaviour over the state slice.
+	// Step is the per-clock behaviour over the state slice. It must not
+	// touch anything but the state slice: images may be shared between
+	// concurrently running sessions.
 	Step func(state []uint32, a, b uint32, init bool) (out uint32, done bool)
 }
 
@@ -139,9 +165,21 @@ func NewBehaviouralImage(spec BehaviouralSpec) *Image {
 		StaticBytes: fabric.StaticBytes(spec.Spec),
 		StateBytes:  fabric.StateBytes(spec.Spec),
 		Stateful:    spec.Stateful,
-		New: func() (Model, error) {
+		newInstance: func() (Model, error) {
 			return &behaviouralModel{spec: spec, state: make([]uint32, spec.StateWords)}, nil
 		},
+	}
+}
+
+// NewModelImage builds an Image whose instances come from an arbitrary
+// constructor — the escape hatch for models that fit neither the fabric
+// nor the behavioural constructors (tests use it for failure injection).
+func NewModelImage(name string, staticBytes, stateBytes int, newInstance func() (Model, error)) *Image {
+	return &Image{
+		Name:        name,
+		StaticBytes: staticBytes,
+		StateBytes:  stateBytes,
+		newInstance: newInstance,
 	}
 }
 

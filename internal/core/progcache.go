@@ -1,0 +1,35 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"protean/internal/fabric"
+	"protean/internal/memo"
+)
+
+// programCache is the process-wide compiled-program cache, keyed by the
+// content hash of the static bitstream. Compiled programs are immutable
+// after Compile, so one program can back every image, session and sweep
+// cell that carries the same bitstream: the expensive decode + validate +
+// compile happens once per distinct circuit per process, and every
+// subsequent load anywhere is an instance stamp-out.
+var programCache memo.Cache[[sha256.Size]byte, *fabric.Compiled]
+
+// SharedProgram decodes, validates and compiles a static bitstream,
+// memoizing the result process-wide by bitstream hash. Identical
+// bitstreams — the same circuit registered by many processes, sessions or
+// experiment sweep cells — share a single compiled program. The returned
+// program is read-only; stamp instances from it with NewInstance.
+func SharedProgram(bits []byte) (*fabric.Compiled, error) {
+	return programCache.Do(sha256.Sum256(bits), func() (*fabric.Compiled, error) {
+		img, err := fabric.Decode(bits)
+		if err != nil {
+			return nil, err
+		}
+		if img.Config == nil {
+			return nil, fmt.Errorf("core: bitstream has no static section")
+		}
+		return fabric.Compile(img.Config)
+	})
+}

@@ -147,21 +147,36 @@ func (r *RFU) PFU(i int) PFUInfo {
 
 // --- configuration port (used by the OS; §4.1) ---
 
-// LoadImage configures a PFU with an image's static frames and resets it.
-// The returned byte count is the configuration-port traffic the OS must
-// charge for.
-func (r *RFU) LoadImage(pfuIdx int, img *Image) (int, error) {
+// LoadInstance configures a PFU slot with a stamped-out instance of an
+// image and resets it — the instance-based configuration port. The caller
+// (normally the CIS) stamps the instance from the image's shared compiled
+// program; the returned byte count is the *modeled* configuration-port
+// traffic (the full static frame group) the OS must charge for, unchanged
+// by the host-side compile-once rework.
+func (r *RFU) LoadInstance(pfuIdx int, img *Image, m Model) (int, error) {
 	if pfuIdx < 0 || pfuIdx >= len(r.pfus) {
 		return 0, fmt.Errorf("core: PFU %d out of range", pfuIdx)
 	}
-	m, err := img.New()
-	if err != nil {
-		return 0, fmt.Errorf("core: configuring %s: %w", img.Name, err)
+	if m == nil {
+		return 0, fmt.Errorf("core: configuring %s: nil instance", img.Name)
 	}
 	m.Reset()
 	r.pfus[pfuIdx] = pfu{model: m, image: img, status: true}
 	r.Stats.ConfigLoads++
 	return img.StaticBytes, nil
+}
+
+// LoadImage stamps a fresh instance of an image and configures a PFU with
+// it — the convenience wrapper over LoadInstance.
+func (r *RFU) LoadImage(pfuIdx int, img *Image) (int, error) {
+	if pfuIdx < 0 || pfuIdx >= len(r.pfus) {
+		return 0, fmt.Errorf("core: PFU %d out of range", pfuIdx)
+	}
+	m, err := img.NewInstance()
+	if err != nil {
+		return 0, err
+	}
+	return r.LoadInstance(pfuIdx, img, m)
 }
 
 // SwappedCircuit is the state the OS holds for a circuit it has swapped off
@@ -195,15 +210,21 @@ func (r *RFU) SwapOut(pfuIdx int) (*SwappedCircuit, int, error) {
 	return sc, len(sc.State), nil
 }
 
-// Restore configures a PFU with a previously swapped circuit: full static
-// frames plus the saved state frames (§4.1's split makes the state part
-// tiny). The byte count covers both sections.
+// Restore configures a PFU with a previously swapped circuit: the state
+// frames restore into a *freshly stamped* instance of the cached static
+// image (§4.1's split configuration), plus the RFU-side status bit and
+// counter. The byte count covers both frame sections — full static frames
+// and the tiny state frame group.
 func (r *RFU) Restore(pfuIdx int, sc *SwappedCircuit) (int, error) {
-	n, err := r.LoadImage(pfuIdx, sc.Image)
+	m, err := sc.Image.NewInstance()
 	if err != nil {
 		return 0, err
 	}
-	if err := r.pfus[pfuIdx].model.LoadState(sc.State); err != nil {
+	n, err := r.LoadInstance(pfuIdx, sc.Image, m)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.LoadState(sc.State); err != nil {
 		return 0, err
 	}
 	r.pfus[pfuIdx].status = sc.Status

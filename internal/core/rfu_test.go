@@ -447,14 +447,14 @@ func TestFabricImageThroughRFU(t *testing.T) {
 
 func TestBehaviouralStateRoundTrip(t *testing.T) {
 	img := addImage(8)
-	m, err := img.New()
+	m, err := img.NewInstance()
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.Step(1, 2, true)
 	m.Step(1, 2, false)
 	st := m.SaveState()
-	m2, _ := img.New()
+	m2, _ := img.NewInstance()
 	if err := m2.LoadState(st); err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +474,7 @@ func TestBehaviouralStateRoundTrip(t *testing.T) {
 
 func TestBehaviouralStateLengthCheck(t *testing.T) {
 	img := addImage(2)
-	m, _ := img.New()
+	m, _ := img.NewInstance()
 	if err := m.LoadState([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short state accepted")
 	}

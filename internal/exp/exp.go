@@ -10,7 +10,13 @@
 //
 // Every run goes through the public protean facade, so the experiment
 // sweeps double as an end-to-end exercise of the API every application
-// uses.
+// uses. The facade's process-wide caches do the heavy host-side work once
+// for the whole sweep: workload templates, assembled programs and
+// compiled circuit images are built on the first cell that needs them and
+// shared by every other cell (see DESIGN.md §7) — per-cell host cost is
+// machine construction plus the simulation itself, while the modeled
+// per-cell costs (configuration traffic, kernel cycles) are charged
+// exactly as before.
 package exp
 
 import (

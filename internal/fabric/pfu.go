@@ -43,16 +43,30 @@ func NewPFU(cfg *ArrayConfig) (*PFU, error) {
 }
 
 // levelize orders used LUT CLBs so every combinational input is computed
-// before its consumer. CLB outputs that come from the flip-flop (FlagOutFF)
-// are sequential sources and break cycles.
+// before its consumer.
 func (p *PFU) levelize() error {
-	spec := p.cfg.Spec
-	n := spec.CLBs()
-	// comb[i]: CLB i's output wire is combinational (driven by LUT directly).
+	order, err := levelizeConfig(p.cfg)
+	if err != nil {
+		return err
+	}
+	p.order = order
+	return nil
+}
+
+// levelizeConfig orders a configuration's used-LUT CLBs so every
+// combinational input is computed before its consumer, rejecting
+// combinational cycles. CLB outputs that come from the flip-flop
+// (FlagOutFF) are sequential sources and break cycles. Shared by the
+// interpretive PFU and the compiled engine, so both reject exactly the
+// same configurations.
+func levelizeConfig(cfg *ArrayConfig) ([]int, error) {
+	n := cfg.Spec.CLBs()
+	// combOut[i]: CLB i's output wire is combinational (driven by LUT
+	// directly).
 	needsEval := make([]bool, n)
 	combOut := make([]bool, n)
-	for i := range p.cfg.CLBs {
-		c := &p.cfg.CLBs[i]
+	for i := range cfg.CLBs {
+		c := &cfg.CLBs[i]
 		if c.Flags&FlagLUTUsed != 0 {
 			needsEval[i] = true
 			if c.Flags&FlagOutFF == 0 {
@@ -71,7 +85,7 @@ func (p *PFU) levelize() error {
 			return fmt.Errorf("fabric: combinational cycle through CLB %d; configuration rejected", i)
 		}
 		state[i] = 1
-		c := &p.cfg.CLBs[i]
+		c := &cfg.CLBs[i]
 		for pin := 0; pin < 4; pin++ {
 			sel := int(c.InSel[pin]) - 1
 			if sel < WireCLB0 {
@@ -91,12 +105,11 @@ func (p *PFU) levelize() error {
 	for i := 0; i < n; i++ {
 		if needsEval[i] {
 			if err := visit(i); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
-	p.order = order
-	return nil
+	return order, nil
 }
 
 // Reset restores every register to its configured initial value, the
@@ -130,8 +143,6 @@ func (p *PFU) Step(a, b uint32, init bool) (out uint32, done bool) {
 		}
 	}
 	// Settle combinational logic.
-	lutIn := make([]bool, 0, 4)
-	_ = lutIn
 	for _, i := range p.order {
 		c := &p.cfg.CLBs[i]
 		idx := 0

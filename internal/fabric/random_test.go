@@ -220,6 +220,101 @@ func TestRandomNetlistsPlaceAndSimulate(t *testing.T) {
 	}
 }
 
+// TestRandomNetlistsCompiledVsPFUVsSim is the three-way differential
+// property test of the execution substrates: for random netlists, the
+// compiled engine, the interpretive PFU and the functional netlist
+// simulator must agree on every output of every cycle — including after a
+// state frame group is saved mid-execution and restored into a *fresh*
+// compiled instance and a fresh PFU (the §4.1 split-configuration swap).
+func TestRandomNetlistsCompiledVsPFUVsSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		n, _ := randomCircuit(rng, 5+rng.Intn(80), rng.Intn(10))
+		sim, err := NewSim(n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cfg, _, err := Place(n, DefaultPFUSpec)
+		if err != nil {
+			t.Fatalf("trial %d place: %v", trial, err)
+		}
+		// Everything below runs from the decoded bitstream, like the OS.
+		bits, err := EncodeStatic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := Decode(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfu, err := NewPFU(img.Config)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		prog, err := Compile(img.Config)
+		if err != nil {
+			t.Fatalf("trial %d compile: %v", trial, err)
+		}
+		inst := prog.NewInstance()
+		for rep := 0; rep < 4; rep++ {
+			a, b := rng.Uint32(), rng.Uint32()
+			steps := 2 + rng.Intn(6)
+			swapAt := 1 + rng.Intn(steps) // swap mid-execution after this step
+			sim.Reset()
+			pfu.Reset()
+			inst.Reset()
+			sim.SetInput("a", uint64(a))
+			sim.SetInput("b", uint64(b))
+			for s := 0; s < steps; s++ {
+				initBit := s == 0
+				if initBit {
+					sim.SetInput("init", 1)
+				} else {
+					sim.SetInput("init", 0)
+				}
+				sim.Eval()
+				simOut, _ := sim.Output("out")
+				sim.Step()
+				pfuOut, pfuDone := pfu.Step(a, b, initBit)
+				cOut, cDone := inst.Step(a, b, initBit)
+				if cOut != pfuOut || cOut != uint32(simOut) {
+					t.Fatalf("trial %d rep %d step %d: compiled %#x, PFU %#x, sim %#x",
+						trial, rep, s, cOut, pfuOut, simOut)
+				}
+				if cDone != pfuDone {
+					t.Fatalf("trial %d rep %d step %d: done compiled=%v PFU=%v",
+						trial, rep, s, cDone, pfuDone)
+				}
+				if s+1 == swapAt {
+					// Save state frames from both engines: they must agree
+					// bit for bit, and each must restore into a fresh
+					// instance of the *other* engine.
+					cState := inst.SaveState()
+					pState := pfu.SaveState()
+					for i := range cState {
+						if cState[i] != pState[i] {
+							t.Fatalf("trial %d rep %d: state frame bit %d differs", trial, rep, i)
+						}
+					}
+					fresh := prog.NewInstance()
+					if err := fresh.LoadState(pState); err != nil {
+						t.Fatal(err)
+					}
+					inst = fresh
+					freshPFU, err := NewPFU(img.Config)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := freshPFU.LoadState(cState); err != nil {
+						t.Fatal(err)
+					}
+					pfu = freshPFU
+				}
+			}
+		}
+	}
+}
+
 // TestPlacementDeterminism: placing the same netlist twice yields the
 // identical configuration (reproducible builds).
 func TestPlacementDeterminism(t *testing.T) {

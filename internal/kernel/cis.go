@@ -136,7 +136,11 @@ func (c *CIS) fault(p *Process, cid uint32) bool {
 
 	// Configure the PFU: full static frames, plus state frames when
 	// resuming a previously evicted live circuit. Under memory pressure
-	// the bitstream itself must first be paged in (§5.1.3).
+	// the bitstream itself must first be paged in (§5.1.3). Loads go
+	// through the instance API: the CIS stamps an instance of the image's
+	// shared compiled program (host-side cheap), while the static-frame
+	// traffic keeps its full modeled cost below. A swapped live circuit
+	// restores its state frames into a fresh instance (§4.1).
 	if c.k.cfg.PageInCycles > 0 {
 		c.k.charge(c.k.cfg.PageInCycles)
 		c.Stats.PageIns++

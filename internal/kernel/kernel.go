@@ -187,6 +187,7 @@ type Kernel struct {
 	cfg     Config
 	procs   []*Process
 	current int // index into procs, -1 when nothing dispatched
+	ready   int // processes in ProcReady, maintained by Spawn and exit
 	rng     *rand.Rand
 	tlog    *trace.Log
 }
@@ -261,6 +262,7 @@ func (k *Kernel) Spawn(name string, prog *asm.Program, images []*core.Image) (*P
 	p.ctx.R[arm.SP] = base + RegionSize - 16
 	p.ctx.CPSR = uint32(arm.ModeUsr) // interrupts enabled
 	k.procs = append(k.procs, p)
+	k.ready++
 	k.log(trace.EvSpawn, p.PID, name)
 	return p, nil
 }
@@ -268,14 +270,10 @@ func (k *Kernel) Spawn(name string, prog *asm.Program, images []*core.Image) (*P
 // Processes returns the process table.
 func (k *Kernel) Processes() []*Process { return k.procs }
 
-func (k *Kernel) allDone() bool {
-	for _, p := range k.procs {
-		if p.State == ProcReady {
-			return false
-		}
-	}
-	return true
-}
+// allDone runs once per simulated instruction, so it must be O(1): the
+// ready count is maintained at spawn and exit instead of rescanning the
+// process table.
+func (k *Kernel) allDone() bool { return k.ready == 0 }
 
 // nextReady picks the next ready process after the given index, round
 // robin; -1 if none.
@@ -377,15 +375,7 @@ func (k *Kernel) RunUntil(maxCycles uint64, stop func() error) error {
 	}
 }
 
-func (k *Kernel) readyCount() int {
-	n := 0
-	for _, p := range k.procs {
-		if p.State == ProcReady {
-			n++
-		}
-	}
-	return n
-}
+func (k *Kernel) readyCount() int { return k.ready }
 
 // handleException is the HLE exception dispatcher: the CPU has performed
 // architectural exception entry (banked LR/SPSR, mode switch, vector);
@@ -572,6 +562,9 @@ func (k *Kernel) syscall(num, retPC, retCPSR uint32) error {
 
 // exit terminates the current process and schedules the next one.
 func (k *Kernel) exit(p *Process, state ProcState) {
+	if p.State == ProcReady {
+		k.ready--
+	}
 	p.State = state
 	p.Stats.CompletionCycle = k.M.Cycles()
 	k.CIS.releaseProcess(p)

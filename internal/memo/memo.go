@@ -1,0 +1,43 @@
+// Package memo provides the process-wide build-once cache the protean
+// compile-once layers share: workload templates, assembled programs and
+// compiled circuit programs are each built on first use and reused by
+// every later requester.
+package memo
+
+import "sync"
+
+// Cache memoizes values by key. The zero value is ready to use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// Do returns the cached value for key, invoking build on the first
+// request. The build runs outside the lock so a slow build does not
+// serialise unrelated keys; when two builders race, the first value
+// stored wins and every caller gets it, preserving pointer identity for
+// values shared process-wide. Errors are returned to the caller and not
+// cached, so a failed build is retried on the next request.
+func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	v, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	built, err := build()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.m[key]; ok {
+		return v, nil
+	}
+	if c.m == nil {
+		c.m = map[K]V{}
+	}
+	c.m[key] = built
+	return built, nil
+}

@@ -1,0 +1,69 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDoBuildsOnceAndSharesPointer(t *testing.T) {
+	var c Cache[int, *int]
+	builds := 0
+	build := func() (*int, error) {
+		builds++
+		v := 42
+		return &v, nil
+	}
+	a, err := c.Do(1, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Do(1, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Do returned a different pointer")
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times", builds)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	var c Cache[string, int]
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error: %d, %v", v, err)
+	}
+}
+
+func TestDoConcurrentSingleValue(t *testing.T) {
+	var c Cache[int, *int]
+	var wg sync.WaitGroup
+	results := make([]*int, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(0, func() (*int, error) {
+				n := i
+				return &n, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r != results[0] {
+			t.Fatal("concurrent Do callers saw different values")
+		}
+	}
+}

@@ -36,8 +36,13 @@ func AlphaImage() *core.Image {
 }
 
 // AlphaGateImage returns the same instruction as a real placed-and-routed
-// bitstream executing on the fabric simulator (slow; used by tests and the
-// fplstat tool).
+// bitstream executing on the compiled fabric engine (used by the
+// "alpha/gate" workload, tests and the fplstat tool). Each call builds a
+// fresh Image — deliberately, so CIS instance sharing (which matches on
+// image pointer identity) behaves exactly as it did before the
+// compile-once rework — but every image for this circuit shares one
+// compiled program through the bitstream-hash cache (core.SharedProgram),
+// so only the cheap place/encode step repeats.
 func AlphaGateImage() (*core.Image, error) {
 	return core.NewFabricImage("alphablend-gate", fabric.AlphaBlend(), fabric.DefaultPFUSpec)
 }

@@ -64,16 +64,6 @@ type Session struct {
 	tl    *trace.Log
 	procs []*Proc
 	ran   bool
-	// progCache memoizes built programs per (workload, items), so
-	// repeated Spawn calls — a heterogeneous rotation, say — reuse one
-	// circuit-image template per workload. Identical templates are what
-	// the CIS sharing mode (WithSharing) matches on.
-	progCache map[progKey]Program
-}
-
-type progKey struct {
-	workload string
-	items    int
 }
 
 // New builds a session: a ProteanARM machine with a booted POrSCHE kernel,
@@ -183,18 +173,14 @@ func (s *Session) Spawn(workload string, instances, items int) ([]*Proc, error) 
 			return nil, fmt.Errorf("protean: workload %q declares no default work-unit count; pass items > 0", workload)
 		}
 	}
-	key := progKey{workload: workload, items: items}
-	prog, cached := s.progCache[key]
-	if !cached {
-		var err error
-		prog, err = w.Build(items, s.cfg.soft)
-		if err != nil {
-			return nil, fmt.Errorf("protean: build %q: %w", workload, err)
-		}
-		if s.progCache == nil {
-			s.progCache = map[progKey]Program{}
-		}
-		s.progCache[key] = prog
+	// Templates are cached process-wide (see templateCache): repeated
+	// Spawn calls — a heterogeneous rotation, say — and every other
+	// session or sweep cell spawning the same template share one built
+	// program and its compiled circuit images. Identical templates are
+	// what the CIS sharing mode (WithSharing) matches on.
+	prog, err := buildTemplate(w, items, s.cfg.soft)
+	if err != nil {
+		return nil, fmt.Errorf("protean: build %q: %w", workload, err)
 	}
 	procs := make([]*Proc, 0, instances)
 	for i := 0; i < instances; i++ {
@@ -219,7 +205,15 @@ func (s *Session) SpawnProgram(name, source string, images []*Image) (*Proc, err
 }
 
 func (s *Session) spawn(name, workload string, prog Program) (*Proc, error) {
-	assembled, err := asm.Assemble(prog.Source, s.k.NextBase())
+	// Registry templates recur across sessions and sweep cells at the same
+	// deterministic bases, so their assembled programs are cached
+	// process-wide; one-off SpawnProgram sources assemble directly (a
+	// cache would only retain them forever for a zero hit rate).
+	assemble := asm.Assemble
+	if workload != "" {
+		assemble = assembleCached
+	}
+	assembled, err := assemble(prog.Source, s.k.NextBase())
 	if err != nil {
 		return nil, fmt.Errorf("protean: assemble %s: %w", name, err)
 	}

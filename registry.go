@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"protean/internal/asm"
+	"protean/internal/memo"
 )
 
 // Program is an assemblable guest program: ARM assembly source plus the
@@ -36,7 +39,55 @@ type Workload struct {
 	// work-unit count; soft reports whether the session dispatches to
 	// software alternatives under contention, so auto-mode workloads can
 	// register them only when they will be used.
+	//
+	// Build must be deterministic in (items, soft): built programs are
+	// cached process-wide and shared by every session that spawns the
+	// same template, so identical workloads — repeated Spawns, parallel
+	// sweep cells — compile their circuit images exactly once. A Build
+	// that closes over mutable state must not mutate it.
 	Build func(items int, soft bool) (Program, error)
+}
+
+// templateCache memoizes built workload programs process-wide, keyed by
+// (workload, items, soft). Programs and their circuit images are immutable
+// after Build, so one template — and therefore one compiled circuit
+// program per image — backs every session, repeated Spawn and experiment
+// sweep cell that requests it, instead of re-building (and for gate-level
+// images re-placing and re-encoding) identical circuits per cell.
+var templateCache memo.Cache[templateKey, Program]
+
+type templateKey struct {
+	workload string
+	items    int
+	soft     bool
+}
+
+// asmCache memoizes assembled programs by (source, origin). Processes
+// spawn at deterministic region bases, so a sweep re-running one template
+// across many sessions assembles each (template, base) pair once instead
+// of once per spawn; assembled programs are immutable (the kernel copies
+// the code into machine RAM), so sharing them is safe.
+var asmCache memo.Cache[asmKey, *asm.Program]
+
+type asmKey struct {
+	source string
+	origin uint32
+}
+
+// assembleCached assembles source at origin through the process-wide
+// cache.
+func assembleCached(source string, origin uint32) (*asm.Program, error) {
+	return asmCache.Do(asmKey{source: source, origin: origin}, func() (*asm.Program, error) {
+		return asm.Assemble(source, origin)
+	})
+}
+
+// buildTemplate returns the cached program for a workload template,
+// building it on first use; every session that spawns the same template
+// shares the stored program and its image pointers.
+func buildTemplate(w Workload, items int, soft bool) (Program, error) {
+	return templateCache.Do(templateKey{workload: w.Name, items: items, soft: soft},
+		func() (Program, error) { return w.Build(items, soft) })
 }
 
 var registry = struct {
