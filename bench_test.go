@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"protean"
 	"protean/internal/arm"
 	"protean/internal/asm"
 	"protean/internal/bus"
@@ -42,6 +43,29 @@ func BenchmarkFig2BasicScheduling(b *testing.B) {
 				b.ReportMetric(float64(y), "alpha-rr-10ms-n8-cycles")
 			}
 		}
+	}
+}
+
+// BenchmarkClusterAffinityVsRoundRobin runs the fleet placement sweep's
+// standard thrash-heavy job stream on an 8-node cluster under round-robin
+// and config-affinity placement, and reports how many times fewer total
+// configuration loads (in-session CIS loads plus cold bitstream fetches
+// into node stores) the affinity dispatcher needs — the fleet-scale
+// version of the paper's Figure-2 cost.
+func BenchmarkClusterAffinityVsRoundRobin(b *testing.B) {
+	sw := exp.Sweeper{Scale: benchScale, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		frs, err := sw.RunFleet(8, protean.PlaceRoundRobin, protean.PlaceAffinity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, aff := frs[0], frs[1]
+		if aff.ConfigLoads() >= rr.ConfigLoads() {
+			b.Fatalf("affinity config loads %d not below round-robin %d",
+				aff.ConfigLoads(), rr.ConfigLoads())
+		}
+		b.ReportMetric(float64(rr.ConfigLoads())/float64(aff.ConfigLoads()), "config-loads-saved-x")
+		b.ReportMetric(float64(aff.Makespan), "affinity-makespan-cycles")
 	}
 }
 

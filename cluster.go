@@ -1,0 +1,454 @@
+package protean
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"protean/internal/cluster"
+	"protean/internal/core"
+)
+
+var errClusterRan = errors.New("protean: cluster already run — build a new Cluster per run")
+
+// ConfigKey is the content identity of one circuit configuration — the
+// SharedProgram bitstream hash for gate-level images (see core.ConfigKey).
+// The cluster dispatcher uses it as the placement-affinity key.
+type ConfigKey = core.ConfigKey
+
+// PlacementPolicy decides which simulated node runs each submitted
+// cluster job. Implementations must be deterministic given the fleet view
+// (see internal/cluster); the built-ins below cover the paper-adjacent
+// spectrum from locality-oblivious to configuration-aware.
+type PlacementPolicy = cluster.PlacementPolicy
+
+// Built-in placement policies. PlaceAffinity prefers the node whose
+// bitstream store already holds the job's configurations, keyed by
+// ConfigKey — the paper's configuration-locality cost turned into a
+// placement signal.
+var (
+	PlaceRoundRobin  = cluster.RoundRobin()
+	PlaceRandom      = cluster.Random()
+	PlaceLeastLoaded = cluster.LeastLoaded()
+	PlaceAffinity    = cluster.Affinity()
+)
+
+// Placements lists the built-in placement policies in sweep order.
+func Placements() []PlacementPolicy { return cluster.Policies() }
+
+// ParsePlacement resolves a placement policy by name, accepting the short
+// command-line spellings "rr", "ll" and "affinity".
+func ParsePlacement(s string) (PlacementPolicy, error) { return cluster.ParsePlacement(s) }
+
+// ClusterOption configures a Cluster at construction time.
+type ClusterOption func(*clusterConfig) error
+
+type clusterConfig struct {
+	nodes     int
+	slots     int
+	placement PlacementPolicy
+	seed      int64
+	workers   int
+	meanGap   uint64
+	session   []Option
+	sink      Sink
+}
+
+// WithNodes sets the fleet size (default 4 nodes).
+func WithNodes(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("protean: cluster needs at least one node, got %d", n)
+		}
+		c.nodes = n
+		return nil
+	}
+}
+
+// WithPlacement selects the placement policy (default PlaceRoundRobin).
+func WithPlacement(p PlacementPolicy) ClusterOption {
+	return func(c *clusterConfig) error {
+		if p == nil {
+			return fmt.Errorf("protean: nil placement policy")
+		}
+		c.placement = p
+		return nil
+	}
+}
+
+// WithStoreSlots caps each node's bitstream store at n distinct
+// configurations, evicted LRU (default cluster.DefaultStoreSlots). Smaller
+// stores make placement locality matter more.
+func WithStoreSlots(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("protean: store slots must be positive, got %d", n)
+		}
+		c.slots = n
+		return nil
+	}
+}
+
+// WithClusterSeed sets the fleet seed: per-job session seeds, arrival
+// jitter and placement randomness all derive from it (splitmix,
+// internal/rng), so a fleet run is a pure function of its configuration.
+func WithClusterSeed(seed int64) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithClusterWorkers sizes the job-execution pool; 0 (the default) means
+// GOMAXPROCS, 1 runs jobs serially. FleetResult is byte-identical for
+// every setting.
+func WithClusterWorkers(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.workers = n
+		return nil
+	}
+}
+
+// WithOpenLoop switches from the default closed-loop batch mode (all jobs
+// present at cycle 0) to open-loop arrivals: jobs arrive with
+// deterministic Poisson-ish gaps averaging meanGapCycles. Passing 0
+// keeps batch mode (so a command-line -gap flag can be forwarded
+// unconditionally); gaps above 2^48 cycles (~33 simulated days at
+// 100 MHz) are rejected so arrival arithmetic can never overflow the
+// fleet clock.
+func WithOpenLoop(meanGapCycles uint64) ClusterOption {
+	return func(c *clusterConfig) error {
+		if meanGapCycles > cluster.MaxMeanGap {
+			return fmt.Errorf("protean: open-loop mean gap %d exceeds the %d-cycle cap", meanGapCycles, uint64(cluster.MaxMeanGap))
+		}
+		c.meanGap = meanGapCycles
+		return nil
+	}
+}
+
+// WithNodeOptions sets the session options every node applies to its job
+// runs — quantum, policy, scale, soft dispatch and so on. A WithSeed among
+// them is overridden by the per-job derived seed.
+func WithNodeOptions(opts ...Option) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.session = append(c.session, opts...)
+		return nil
+	}
+}
+
+// WithFleetProgress streams structured fleet events (one EventJobDone per
+// executed job, then one EventFleetDone per replayed policy — exactly one
+// for a plain Run) to sink. Job events arrive from the worker goroutines
+// in completion order; the sink must be safe for concurrent use.
+func WithFleetProgress(sink Sink) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.sink = sink
+		return nil
+	}
+}
+
+// fleetJob is one submitted job: a workload to run somewhere in the fleet.
+type fleetJob struct {
+	workload  string
+	instances int
+	items     int
+	job       cluster.Job
+}
+
+// Cluster is a simulated fleet of workstations — each node the machine +
+// POrSCHE kernel of a Session — fed from a job queue by a placement
+// dispatcher. Build one with NewCluster, fill the queue with Submit, then
+// Run it once:
+//
+//	c, _ := protean.NewCluster(protean.WithNodes(8),
+//	    protean.WithPlacement(protean.PlaceAffinity))
+//	for i := 0; i < 24; i++ {
+//	    c.Submit([]string{"alpha", "twofish", "echo"}[i%3], 2, 0)
+//	}
+//	fr, err := c.Run(ctx)
+//
+// Like Session, a Cluster is single-use and not safe for concurrent use;
+// its Run executes jobs concurrently internally.
+type Cluster struct {
+	cfg  clusterConfig
+	scfg config // resolved per-job session configuration (scale, soft, …)
+	jobs []fleetJob
+	ran  bool
+}
+
+// NewCluster builds an idle fleet from functional options. The zero
+// configuration is 4 nodes, round-robin placement, batch arrivals, seed 1,
+// default-scale sessions.
+func NewCluster(opts ...ClusterOption) (*Cluster, error) {
+	cfg := clusterConfig{nodes: 4, placement: PlaceRoundRobin, seed: 1}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve the node session configuration once, so Submit can apply
+	// scale defaults and bad session options fail here, not per job.
+	var sc config
+	for _, opt := range cfg.session {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&sc); err != nil {
+			return nil, err
+		}
+	}
+	return &Cluster{cfg: cfg, scfg: sc}, nil
+}
+
+// Submit queues instances of a registered workload as one job: all
+// instances run together in a single session on whichever node the
+// dispatcher picks. items <= 0 means the workload's scaled default.
+// Heterogeneous fleets are just repeated Submit calls; the job's
+// configuration keys (for affinity placement) come from its workload
+// template's images.
+func (c *Cluster) Submit(workload string, instances, items int) error {
+	if c.ran {
+		return errClusterRan
+	}
+	w, ok := lookupWorkload(workload)
+	if !ok {
+		return fmt.Errorf("protean: unknown workload %q (registered: %v)", workload, Workloads())
+	}
+	if instances <= 0 {
+		return fmt.Errorf("protean: need at least one instance of %q", workload)
+	}
+	if items <= 0 {
+		items = c.scfg.scale.Items(workload)
+		if items <= 0 {
+			return fmt.Errorf("protean: workload %q declares no default work-unit count; pass items > 0", workload)
+		}
+	}
+	prog, err := buildTemplate(w, items, c.scfg.soft)
+	if err != nil {
+		return fmt.Errorf("protean: build %q: %w", workload, err)
+	}
+	job := cluster.Job{Label: fmt.Sprintf("%s x%d", prog.Name, instances)}
+	for _, img := range prog.Images {
+		job.Circuits = append(job.Circuits, cluster.Circuit{
+			Key:   cluster.Key(img.Key()),
+			Bytes: img.StaticBytes,
+		})
+	}
+	c.jobs = append(c.jobs, fleetJob{
+		workload:  workload,
+		instances: instances,
+		items:     items,
+		job:       job,
+	})
+	return nil
+}
+
+// Run simulates the fleet until every submitted job has completed or ctx
+// is cancelled. Jobs execute concurrently (WithClusterWorkers) with
+// per-job seeds derived from the cluster seed, then placement replays
+// deterministically, so the FleetResult is byte-identical for every
+// worker count. The first job failure — including cancellation — aborts
+// the run.
+func (c *Cluster) Run(ctx context.Context) (*FleetResult, error) {
+	frs, err := c.RunPlacements(ctx, c.cfg.placement)
+	if err != nil {
+		return nil, err
+	}
+	return frs[0], nil
+}
+
+// RunPlacements runs the fleet once and replays placement under each of
+// the given policies, returning one FleetResult per policy in order.
+// Because job executions are node-independent, the expensive session
+// simulations happen exactly once and only the cheap dispatcher replay
+// differs per policy — the natural shape for paired policy comparisons
+// (the F1 placement sweep, the affinity benchmark). The per-job session
+// Results are shared between the returned FleetResults; they are
+// immutable after the run.
+func (c *Cluster) RunPlacements(ctx context.Context, policies ...PlacementPolicy) ([]*FleetResult, error) {
+	if c.ran {
+		return nil, errClusterRan
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(c.jobs) == 0 {
+		return nil, fmt.Errorf("protean: nothing to run — submit a job first")
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("protean: no placement policies given")
+	}
+	for _, p := range policies {
+		if p == nil {
+			return nil, fmt.Errorf("protean: nil placement policy")
+		}
+	}
+	c.ran = true
+
+	// results[i] is written by exactly one worker (job i) and read only
+	// after the pool joins.
+	results := make([]*Result, len(c.jobs))
+	runner := func(i int, seed int64) (cluster.Exec, error) {
+		j := c.jobs[i]
+		opts := make([]Option, 0, len(c.cfg.session)+1)
+		opts = append(opts, c.cfg.session...)
+		opts = append(opts, WithSeed(seed))
+		s, err := New(opts...)
+		if err != nil {
+			return cluster.Exec{}, err
+		}
+		if _, err := s.Spawn(j.workload, j.instances, j.items); err != nil {
+			return cluster.Exec{}, err
+		}
+		res, err := s.Run(ctx)
+		if err != nil {
+			return cluster.Exec{}, err
+		}
+		results[i] = res
+		return cluster.Exec{Cycles: res.Cycles}, nil
+	}
+
+	ccfg := cluster.Config{
+		Nodes:              c.cfg.nodes,
+		StoreSlots:         c.cfg.slots,
+		FetchBytesPerCycle: int(c.scfg.scale.ConfigBytesPerCycle()),
+		Seed:               c.cfg.seed,
+		Workers:            c.cfg.workers,
+		Arrivals:           cluster.Arrivals{MeanGap: c.cfg.meanGap},
+	}
+	if c.cfg.sink != nil {
+		sink := c.cfg.sink
+		jobs := c.jobs
+		ccfg.OnExec = func(i int, e cluster.Exec) {
+			// The runner stored results[i] before OnExec fires (same
+			// goroutine), so the event can carry the verification verdict.
+			ok := results[i] != nil && results[i].Err() == nil
+			sink.Event(Event{
+				Kind:  EventJobDone,
+				Label: jobs[i].job.Label,
+				Cycle: e.Cycles,
+				OK:    ok,
+				Message: fmt.Sprintf("job %-24s executed in %12d cycles (verified=%v)",
+					jobs[i].job.Label, e.Cycles, ok),
+			})
+		}
+	}
+	jobs := make([]cluster.Job, len(c.jobs))
+	for i := range c.jobs {
+		jobs[i] = c.jobs[i].job
+	}
+	execs, err := cluster.Execute(ccfg, jobs, runner)
+	if err != nil {
+		return nil, err
+	}
+	frs := make([]*FleetResult, len(policies))
+	for pi, pol := range policies {
+		ccfg.Policy = pol
+		tr, err := cluster.Replay(ccfg, jobs, execs)
+		if err != nil {
+			return nil, err
+		}
+		fr := c.assemble(tr, results)
+		if c.cfg.sink != nil {
+			c.cfg.sink.Event(Event{
+				Kind:  EventFleetDone,
+				Procs: len(c.jobs),
+				Cycle: fr.Makespan,
+				OK:    fr.Err() == nil,
+				Message: fmt.Sprintf("fleet done: %d jobs on %d nodes (%s), makespan %d, config loads %d (%d cold, %d warm)",
+					len(c.jobs), c.cfg.nodes, fr.Policy, fr.Makespan, fr.ConfigLoads(), fr.ColdLoads, fr.WarmHits),
+			})
+		}
+		frs[pi] = fr
+	}
+	return frs, nil
+}
+
+// assemble aggregates the dispatcher trace and the per-job session
+// results into a FleetResult.
+func (c *Cluster) assemble(tr *cluster.Trace, results []*Result) *FleetResult {
+	fr := &FleetResult{
+		Policy:      tr.Policy,
+		Makespan:    tr.Makespan,
+		Busy:        tr.Busy,
+		ColdLoads:   tr.ColdLoads,
+		WarmHits:    tr.WarmHits,
+		FetchCycles: tr.FetchCycles,
+	}
+	for n, nt := range tr.Nodes {
+		fr.Nodes = append(fr.Nodes, NodeResult{
+			Node:        n,
+			Jobs:        nt.Jobs,
+			Busy:        nt.Busy,
+			ColdLoads:   nt.ColdLoads,
+			WarmHits:    nt.WarmHits,
+			FetchCycles: nt.FetchCycles,
+			Completion:  nt.Completion,
+		})
+	}
+	for i, jt := range tr.Jobs {
+		res := results[i]
+		fr.Jobs = append(fr.Jobs, JobResult{
+			ID:          jt.ID,
+			Label:       jt.Label,
+			Workload:    c.jobs[i].workload,
+			Node:        jt.Node,
+			Arrival:     jt.Arrival,
+			Start:       jt.Start,
+			Completion:  jt.Completion,
+			ColdLoads:   jt.ColdLoads,
+			WarmHits:    jt.WarmHits,
+			FetchCycles: jt.FetchCycles,
+			Run:         res,
+		})
+		if res != nil {
+			addCIS(&fr.CIS, res.CIS)
+			addKernel(&fr.Kernel, res.Kernel)
+			addRFU(&fr.RFU, res.RFU)
+		}
+	}
+	return fr
+}
+
+// addCIS, addKernel and addRFU fold one job's session statistics into the
+// fleet aggregate. Max-style fields (IRQ latency) take the fleet maximum;
+// everything else sums.
+func addCIS(dst *CISStats, s CISStats) {
+	dst.Faults += s.Faults
+	dst.MappingFaults += s.MappingFaults
+	dst.Loads += s.Loads
+	dst.Restores += s.Restores
+	dst.Evictions += s.Evictions
+	dst.SoftMaps += s.SoftMaps
+	dst.ShareHits += s.ShareHits
+	dst.ConfigBytes += s.ConfigBytes
+	dst.ConfigCycles += s.ConfigCycles
+	dst.PageIns += s.PageIns
+}
+
+func addKernel(dst *KernelStats, s KernelStats) {
+	dst.ContextSwitches += s.ContextSwitches
+	dst.TimerIRQs += s.TimerIRQs
+	dst.Syscalls += s.Syscalls
+	dst.Kills += s.Kills
+	dst.KernelCycles += s.KernelCycles
+	if s.MaxIRQLatency > dst.MaxIRQLatency {
+		dst.MaxIRQLatency = s.MaxIRQLatency
+	}
+	dst.SumIRQLatency += s.SumIRQLatency
+}
+
+func addRFU(dst *RFUStats, s RFUStats) {
+	dst.HWDispatches += s.HWDispatches
+	dst.SWDispatches += s.SWDispatches
+	dst.Faults += s.Faults
+	dst.Completions += s.Completions
+	dst.Aborts += s.Aborts
+	dst.ExecCycles += s.ExecCycles
+	dst.ConfigLoads += s.ConfigLoads
+	dst.StateSaves += s.StateSaves
+	dst.StateRestores += s.StateRestores
+}

@@ -12,6 +12,18 @@
 // -app accepts any registered workload name (see -list), "mix" for one
 // instance of each paper application in rotation, or a comma-separated
 // list of names to rotate through.
+//
+// With -cluster the same workload rotation becomes a job stream for a
+// simulated fleet instead of one session:
+//
+//	proteansim -cluster -app mix -jobs 12 -n 2 -nodes 4
+//	           [-placement rr|random|least-loaded|affinity]
+//	           [-slots N] [-gap cycles]
+//
+// Each job runs -n instances of the next rotation entry in its own
+// session on whichever node the placement policy picks; the report shows
+// the per-job timeline, per-node utilisation and the fleet-level
+// configuration traffic that affinity placement saves.
 package main
 
 import (
@@ -39,16 +51,112 @@ func main() {
 	progress := flag.Bool("progress", false, "stream structured progress events to stderr")
 	gate := flag.Bool("gatelevel", false, "run the alpha circuit as its real placed bitstream on the fabric simulator (slow)")
 	disasmN := flag.Int("disasm", 0, "stream a disassembly of the first N executed instructions to stderr")
+	clusterMode := flag.Bool("cluster", false, "run a simulated fleet fed from a job queue instead of one session")
+	nodes := flag.Int("nodes", 4, "cluster: fleet size")
+	jobs := flag.Int("jobs", 8, "cluster: number of jobs (rotating through the -app list)")
+	placement := flag.String("placement", "affinity", "cluster: placement policy: rr, random, least-loaded, affinity")
+	slots := flag.Int("slots", 0, "cluster: per-node bitstream store slots (0 = default)")
+	gap := flag.Uint64("gap", 0, "cluster: mean inter-arrival gap in cycles (0 = batch arrivals)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(protean.Workloads(), "\n"))
 		return
 	}
-	if err := run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN); err != nil {
+	var err error
+	if *clusterMode {
+		if *showTrace || *disasmN > 0 {
+			err = fmt.Errorf("-trace and -disasm are per-session debugging aids and are not supported with -cluster")
+		} else {
+			err = runCluster(*appName, *jobs, *n, *nodes, *placement, *slots, *gap,
+				uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *progress, *gate)
+		}
+	} else {
+		err = run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "proteansim:", err)
 		os.Exit(1)
 	}
+}
+
+// runCluster runs the -cluster mode: a fleet of nodes fed jobs rotating
+// through the -app list, and a report of the fleet timeline and the
+// configuration traffic the placement policy produced.
+func runCluster(appName string, jobs, perJob, nodes int, placementName string, slots int,
+	gap uint64, quantum uint32, policyName string, soft, sharing bool,
+	items, scaleF int, seed int64, progress, gate bool) error {
+	pol, err := protean.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	place, err := protean.ParsePlacement(placementName)
+	if err != nil {
+		return err
+	}
+	names, err := parseApps(appName, gate)
+	if err != nil {
+		return err
+	}
+	opts := []protean.ClusterOption{
+		protean.WithNodes(nodes),
+		protean.WithPlacement(place),
+		protean.WithClusterSeed(seed),
+		protean.WithOpenLoop(gap),
+		protean.WithNodeOptions(
+			protean.WithScale(scaleF),
+			protean.WithQuantum(quantum), // 0 = scaled 10ms default
+			protean.WithPolicy(pol),
+			protean.WithSoftDispatch(soft),
+			protean.WithSharing(sharing),
+		),
+	}
+	if slots > 0 {
+		opts = append(opts, protean.WithStoreSlots(slots))
+	}
+	if progress {
+		opts = append(opts, protean.WithFleetProgress(protean.WriterSink(os.Stderr)))
+	}
+	c, err := protean.NewCluster(opts...)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < jobs; i++ {
+		if err := c.Submit(names[i%len(names)], perJob, items); err != nil {
+			return err
+		}
+	}
+	fr, err := c.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fleet: %d nodes, placement %s, %d jobs, makespan %d cycles\n\n",
+		nodes, fr.Policy, len(fr.Jobs), fr.Makespan)
+	fmt.Println("jobs:")
+	for _, j := range fr.Jobs {
+		verdict := "OK"
+		if j.Run == nil || j.Run.Err() != nil {
+			verdict = "FAILED"
+		}
+		fmt.Printf("  %-3d %-24s node=%d arrival=%-10d start=%-10d completion=%-12d cold=%d warm=%d %s\n",
+			j.ID, j.Label, j.Node, j.Arrival, j.Start, j.Completion, j.ColdLoads, j.WarmHits, verdict)
+	}
+	fmt.Println("\nnodes:")
+	for _, n := range fr.Nodes {
+		util := 0.0
+		if fr.Makespan > 0 {
+			util = 100 * float64(n.Busy) / float64(fr.Makespan)
+		}
+		fmt.Printf("  node %-2d jobs=%-3d busy=%-12d (%5.1f%%) cold-loads=%-4d warm-hits=%-4d fetch-cycles=%d\n",
+			n.Node, n.Jobs, n.Busy, util, n.ColdLoads, n.WarmHits, n.FetchCycles)
+	}
+	fmt.Printf("\nconfig loads: %d total = %d in-session + %d cold fetches (%d warm hits, %d fetch cycles)\n",
+		fr.ConfigLoads(), fr.CIS.Loads, fr.ColdLoads, fr.WarmHits, fr.FetchCycles)
+	cs := fr.CIS
+	fmt.Printf("CIS (all nodes): faults=%d mapping-faults=%d loads=%d restores=%d evictions=%d\n",
+		cs.Faults, cs.MappingFaults, cs.Loads, cs.Restores, cs.Evictions)
+	return fr.Err()
 }
 
 // parseApps expands the -app argument into the workload rotation.

@@ -21,6 +21,12 @@ const (
 	// EventCellDone fires once per completed cell of an experiment sweep
 	// (internal/exp's figure generators).
 	EventCellDone
+	// EventJobDone fires once per executed cluster job, from the fleet's
+	// worker goroutines in completion order.
+	EventJobDone
+	// EventFleetDone fires when a cluster run has placed every job — once
+	// per replayed placement policy (exactly once for a plain Run).
+	EventFleetDone
 )
 
 func (k EventKind) String() string {
@@ -33,6 +39,10 @@ func (k EventKind) String() string {
 		return "run-done"
 	case EventCellDone:
 		return "cell-done"
+	case EventJobDone:
+		return "job-done"
+	case EventFleetDone:
+		return "fleet-done"
 	default:
 		return fmt.Sprintf("event%d", int(k))
 	}

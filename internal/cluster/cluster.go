@@ -1,0 +1,408 @@
+// Package cluster simulates a fleet of ProteanARM workstations behind a
+// job dispatcher — the paper's single-machine management problem lifted
+// one layer up. The paper's central cost, configuration loads under
+// thrashing (§5.1, Figure 2), becomes a *placement* problem at fleet
+// scale: a node whose bitstream store already holds a job's circuit
+// configurations can start it without cold fetches, so a
+// configuration-affinity dispatcher saves exactly the traffic the paper's
+// CIS fights to avoid within one machine.
+//
+// The fleet simulation is deterministic by construction, in two phases:
+//
+//  1. Execution. Every job's session is node-independent (the nodes are
+//     identical workstations; the modeled bitstream fetch is charged
+//     analytically in phase 2), so jobs execute once each, concurrently
+//     on the shared internal/conc worker pool, with per-job seeds derived
+//     from the cluster seed (internal/rng). Parallelism changes only
+//     wall-clock time, never results.
+//  2. Placement replay. Arrivals are expanded from the arrival process,
+//     and the dispatcher replays them serially in arrival order: the
+//     placement policy picks a node, the node's LRU bitstream store is
+//     consulted for each of the job's configuration keys (cold misses
+//     charge the modeled fetch), and the node's timeline advances. All
+//     mutable fleet state lives here, on one goroutine.
+//
+// The result is byte-identical for every Workers setting — the property
+// TestClusterPlacementDeterminism enforces through the facade.
+package cluster
+
+import (
+	"fmt"
+
+	"protean/internal/conc"
+	"protean/internal/rng"
+)
+
+// Key identifies one circuit configuration fleet-wide: core.ConfigKey,
+// the SharedProgram bitstream hash. The dispatcher treats it opaquely —
+// two jobs carrying equal keys load byte-identical configurations, which
+// is what a node's bitstream store can reuse.
+type Key [32]byte
+
+// Circuit is one configuration a job will load: its affinity key plus the
+// static-bitstream size that must be fetched into a node's store when the
+// placement is cold.
+type Circuit struct {
+	Key   Key
+	Bytes int
+}
+
+// Job is one unit of fleet work: an opaque payload the Runner knows how
+// to execute (by index), annotated with the circuits it loads.
+type Job struct {
+	Label    string
+	Circuits []Circuit
+}
+
+// Exec is the node-independent execution profile of one job: the machine
+// cycles its session simulated.
+type Exec struct {
+	Cycles uint64
+}
+
+// Runner executes job i with the given derived seed and returns its
+// execution profile. Runners are called concurrently from the worker
+// pool, once per job.
+type Runner func(i int, seed int64) (Exec, error)
+
+// Seed-derivation streams, so job seeds, arrival jitter and placement
+// randomness never correlate.
+const (
+	streamJob = iota
+	streamArrivals
+	streamPlacement
+)
+
+// MaxMeanGap caps the open-loop mean inter-arrival gap: 2^48 cycles is
+// ~33 simulated days at 100 MHz, far beyond any sensible run, and keeps
+// the jitter draw (MeanGap+1) and the accumulating arrival clock safely
+// inside uint64 for any realistic job count.
+const MaxMeanGap = uint64(1) << 48
+
+// Arrivals selects the fleet's arrival process.
+type Arrivals struct {
+	// MeanGap > 0 selects the open-loop mode: jobs arrive with
+	// deterministic Poisson-ish gaps averaging MeanGap cycles (uniform
+	// jitter over [MeanGap/2, 3·MeanGap/2], drawn from the cluster seed's
+	// splitmix stream). MeanGap == 0 is the closed-loop batch mode: every
+	// job is present at cycle 0. Gaps above MaxMeanGap are clamped to it.
+	MeanGap uint64
+}
+
+// times expands the arrival process into one arrival cycle per job.
+func (a Arrivals) times(n int, seed int64) []uint64 {
+	out := make([]uint64, n)
+	if a.MeanGap == 0 {
+		return out
+	}
+	gap := a.MeanGap
+	if gap > MaxMeanGap {
+		gap = MaxMeanGap
+	}
+	s := rng.New(rng.Derive(seed, streamArrivals))
+	var t uint64
+	for i := range out {
+		t += gap/2 + s.Below(gap+1)
+		out[i] = t
+	}
+	return out
+}
+
+// DefaultStoreSlots is the default capacity, in distinct configurations,
+// of a node's bitstream store.
+const DefaultStoreSlots = 8
+
+// Config parameterises a fleet run.
+type Config struct {
+	// Nodes is the fleet size; <= 0 means 1.
+	Nodes int
+	// StoreSlots caps how many distinct configurations each node's
+	// bitstream store holds (LRU); <= 0 means DefaultStoreSlots.
+	StoreSlots int
+	// FetchBytesPerCycle is the bandwidth at which a cold bitstream is
+	// fetched into a node's store; <= 0 means 1 byte/cycle (the
+	// configuration-port bandwidth at scale 1).
+	FetchBytesPerCycle int
+	// Seed derives every per-job session seed, the arrival jitter and the
+	// placement randomness (splitmix, internal/rng).
+	Seed int64
+	// Workers sizes the job-execution pool; 0 means GOMAXPROCS, 1 runs
+	// jobs serially. Fleet output is byte-identical for every setting.
+	Workers int
+	// Policy places jobs on nodes; nil means RoundRobin().
+	Policy PlacementPolicy
+	// Arrivals is the arrival process; the zero value is batch mode.
+	Arrivals Arrivals
+	// OnExec, if non-nil, observes each finished job execution. It is
+	// called from the worker goroutines in completion order and must be
+	// safe for concurrent use.
+	OnExec func(i int, e Exec)
+}
+
+// JobTrace records where one job ran and what it cost at the fleet level.
+type JobTrace struct {
+	ID    int // submission index
+	Label string
+	Node  int
+	// Arrival, Start and Completion are fleet-clock cycles: Start waits
+	// for the node to drain its queue, Completion adds the cold fetches
+	// and the job's own service time.
+	Arrival, Start, Completion uint64
+	// Cycles is the job's node-independent service time.
+	Cycles uint64
+	// ColdLoads counts configurations fetched into the node's store for
+	// this job; WarmHits counts configurations already resident —
+	// the affinity dispatcher's currency.
+	ColdLoads, WarmHits uint64
+	// FetchCycles is the modeled cost of the cold fetches.
+	FetchCycles uint64
+}
+
+// NodeTrace aggregates one node's fleet activity.
+type NodeTrace struct {
+	Jobs                int
+	Busy                uint64 // service + fetch cycles charged to the node
+	ColdLoads, WarmHits uint64
+	FetchCycles         uint64
+	Completion          uint64 // cycle the node finally went idle, 0 if never used
+}
+
+// Trace is the outcome of a fleet run.
+type Trace struct {
+	Policy string
+	Jobs   []JobTrace // in submission order
+	Nodes  []NodeTrace
+	// Makespan is the cycle at which the last job completed.
+	Makespan uint64
+	// Busy is total node-busy time; ColdLoads/WarmHits/FetchCycles sum
+	// the per-job fleet-level configuration traffic.
+	Busy                uint64
+	ColdLoads, WarmHits uint64
+	FetchCycles         uint64
+}
+
+// store is a node's bitstream store: an LRU set of configuration keys.
+type store struct {
+	slots int
+	keys  []Key // least recently used first
+}
+
+// touch looks key up, refreshing recency. It reports a hit; on a miss the
+// key is inserted, evicting the least recently used key if the store is
+// full.
+func (st *store) touch(k Key) bool {
+	for i, have := range st.keys {
+		if have == k {
+			copy(st.keys[i:], st.keys[i+1:])
+			st.keys[len(st.keys)-1] = k
+			return true
+		}
+	}
+	if len(st.keys) >= st.slots {
+		copy(st.keys, st.keys[1:])
+		st.keys = st.keys[:len(st.keys)-1]
+	}
+	st.keys = append(st.keys, k)
+	return false
+}
+
+// holds reports whether key is resident without refreshing recency.
+func (st *store) holds(k Key) bool {
+	for _, have := range st.keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeState is one node's mutable dispatcher state during replay.
+type nodeState struct {
+	freeAt uint64
+	store  store
+}
+
+// Fleet is the dispatcher's read-only view of the nodes at one placement
+// instant. PlacementPolicy implementations query it; all mutation happens
+// in the replay loop.
+type Fleet struct {
+	nodes  []nodeState
+	now    uint64 // arrival cycle of the job being placed
+	placed int
+	rand   *rng.Stream
+}
+
+// NumNodes returns the fleet size.
+func (f *Fleet) NumNodes() int { return len(f.nodes) }
+
+// Placed returns how many jobs have been placed so far.
+func (f *Fleet) Placed() int { return f.placed }
+
+// Backlog returns how many cycles of queued work node n has at the
+// current placement instant.
+func (f *Fleet) Backlog(n int) uint64 {
+	if f.nodes[n].freeAt <= f.now {
+		return 0
+	}
+	return f.nodes[n].freeAt - f.now
+}
+
+// Holds reports whether node n's bitstream store holds key k.
+func (f *Fleet) Holds(n int, k Key) bool { return f.nodes[n].store.holds(k) }
+
+// AffinityHits counts how many of the job's distinct configurations node
+// n already holds.
+func (f *Fleet) AffinityHits(n int, job *Job) int {
+	hits := 0
+	for i, c := range job.Circuits {
+		if distinctAt(job, i) && f.Holds(n, c.Key) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// Rand is the deterministic placement stream stochastic policies draw
+// from; it is seeded from the cluster seed, never from wall-clock state.
+func (f *Fleet) Rand() *rng.Stream { return f.rand }
+
+// distinctAt reports whether job.Circuits[i] is the first occurrence of
+// its key, so per-job accounting counts each configuration once. Jobs
+// carry a handful of circuits, so the scan beats allocating a set.
+func distinctAt(job *Job, i int) bool {
+	for j := 0; j < i; j++ {
+		if job.Circuits[j].Key == job.Circuits[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates the fleet: every job executes once on the worker pool
+// (Execute), then the dispatcher replays the arrival sequence serially
+// through the placement policy (Replay). The first job error cancels the
+// run and is returned.
+func Run(cfg Config, jobs []Job, run Runner) (*Trace, error) {
+	execs, err := Execute(cfg, jobs, run)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(cfg, jobs, execs)
+}
+
+// Execute is phase 1 alone: run every job once, concurrently, and return
+// the execution profiles in job order. Executions are node-independent,
+// so one Execute can feed any number of Replay calls — that is how the
+// placement sweep compares policies on one set of simulations instead of
+// re-simulating per policy.
+func Execute(cfg Config, jobs []Job, run Runner) ([]Exec, error) {
+	if run == nil {
+		return nil, fmt.Errorf("cluster: nil runner")
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("cluster: no jobs submitted")
+	}
+	cells := make([]func() (Exec, error), len(jobs))
+	for i := range jobs {
+		seed := rng.Derive(cfg.Seed, streamJob, uint64(i))
+		cells[i] = func() (Exec, error) {
+			e, err := run(i, seed)
+			if err != nil {
+				return Exec{}, fmt.Errorf("cluster: job %d (%s): %w", i, jobs[i].Label, err)
+			}
+			if cfg.OnExec != nil {
+				cfg.OnExec(i, e)
+			}
+			return e, nil
+		}
+	}
+	return conc.Map(cfg.Workers, cells)
+}
+
+// Replay is phase 2 alone: expand the arrival process and replay the
+// placement sequence serially over precomputed execution profiles. It is
+// deterministic and cheap — all simulation cost lives in Execute.
+func Replay(cfg Config, jobs []Job, execs []Exec) (*Trace, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("cluster: no jobs submitted")
+	}
+	if len(execs) != len(jobs) {
+		return nil, fmt.Errorf("cluster: %d execution profiles for %d jobs", len(execs), len(jobs))
+	}
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	slots := cfg.StoreSlots
+	if slots <= 0 {
+		slots = DefaultStoreSlots
+	}
+	bw := cfg.FetchBytesPerCycle
+	if bw <= 0 {
+		bw = 1
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = RoundRobin()
+	}
+
+	arrive := cfg.Arrivals.times(len(jobs), cfg.Seed)
+	f := &Fleet{
+		nodes: make([]nodeState, nodes),
+		rand:  rng.New(rng.Derive(cfg.Seed, streamPlacement)),
+	}
+	for i := range f.nodes {
+		f.nodes[i].store.slots = slots
+	}
+	tr := &Trace{
+		Policy: pol.Name(),
+		Jobs:   make([]JobTrace, len(jobs)),
+		Nodes:  make([]NodeTrace, nodes),
+	}
+	for i := range jobs {
+		job := &jobs[i]
+		f.now = arrive[i]
+		n := pol.Place(f, job)
+		if n < 0 || n >= nodes {
+			return nil, fmt.Errorf("cluster: policy %s placed job %d on node %d of a %d-node fleet",
+				pol.Name(), i, n, nodes)
+		}
+		ns := &f.nodes[n]
+		jt := JobTrace{ID: i, Label: job.Label, Node: n, Arrival: arrive[i], Cycles: execs[i].Cycles}
+		for ci, c := range job.Circuits {
+			if !distinctAt(job, ci) {
+				continue
+			}
+			if ns.store.touch(c.Key) {
+				jt.WarmHits++
+			} else {
+				jt.ColdLoads++
+				jt.FetchCycles += (uint64(c.Bytes) + uint64(bw) - 1) / uint64(bw)
+			}
+		}
+		jt.Start = jt.Arrival
+		if ns.freeAt > jt.Start {
+			jt.Start = ns.freeAt
+		}
+		jt.Completion = jt.Start + jt.FetchCycles + jt.Cycles
+		ns.freeAt = jt.Completion
+		f.placed++
+
+		tr.Jobs[i] = jt
+		nt := &tr.Nodes[n]
+		nt.Jobs++
+		nt.Busy += jt.FetchCycles + jt.Cycles
+		nt.ColdLoads += jt.ColdLoads
+		nt.WarmHits += jt.WarmHits
+		nt.FetchCycles += jt.FetchCycles
+		nt.Completion = jt.Completion
+		tr.Busy += jt.FetchCycles + jt.Cycles
+		tr.ColdLoads += jt.ColdLoads
+		tr.WarmHits += jt.WarmHits
+		tr.FetchCycles += jt.FetchCycles
+		if jt.Completion > tr.Makespan {
+			tr.Makespan = jt.Completion
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlacementPolicy decides which node runs each arriving job. Place must
+// be a pure function of the fleet view (stochastic choice draws from
+// f.Rand(), which is seeded deterministically), so a fleet run is
+// reproducible from its configuration alone. Implementations are
+// stateless — everything a decision needs (placement count, backlogs,
+// store contents, the random stream) lives on the Fleet — so one policy
+// value may be shared by any number of concurrent fleet runs.
+type PlacementPolicy interface {
+	Name() string
+	Place(f *Fleet, job *Job) int
+}
+
+// RoundRobin cycles the fleet in placement order — the fleet-level
+// analogue of the paper's round-robin replacement policy, and just as
+// oblivious to what the nodes already hold.
+func RoundRobin() PlacementPolicy { return roundRobin{} }
+
+type roundRobin struct{}
+
+func (roundRobin) Name() string               { return "round-robin" }
+func (roundRobin) Place(f *Fleet, _ *Job) int { return f.Placed() % f.NumNodes() }
+
+// Random places uniformly at random from the fleet's deterministic
+// placement stream.
+func Random() PlacementPolicy { return random{} }
+
+type random struct{}
+
+func (random) Name() string               { return "random" }
+func (random) Place(f *Fleet, _ *Job) int { return int(f.Rand().Below(uint64(f.NumNodes()))) }
+
+// LeastLoaded places on the node with the smallest backlog at arrival,
+// breaking ties toward the lowest index.
+func LeastLoaded() PlacementPolicy { return leastLoaded{} }
+
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Place(f *Fleet, _ *Job) int {
+	best := 0
+	for n := 1; n < f.NumNodes(); n++ {
+		if f.Backlog(n) < f.Backlog(best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// Affinity prefers the node whose bitstream store already holds the most
+// of the job's configurations — the paper's configuration-locality cost
+// turned into a placement signal, keyed on the SharedProgram bitstream
+// hash. Ties break toward the smaller backlog, then the lowest index;
+// when no node holds anything the policy degenerates to least-loaded, so
+// a cold fleet still spreads.
+func Affinity() PlacementPolicy { return affinity{} }
+
+type affinity struct{}
+
+func (affinity) Name() string { return "config-affinity" }
+
+func (affinity) Place(f *Fleet, job *Job) int {
+	best, bestHits := -1, 0
+	for n := 0; n < f.NumNodes(); n++ {
+		hits := f.AffinityHits(n, job)
+		switch {
+		case hits == 0:
+			continue
+		case best < 0, hits > bestHits,
+			hits == bestHits && f.Backlog(n) < f.Backlog(best):
+			best, bestHits = n, hits
+		}
+	}
+	if best < 0 {
+		return leastLoaded{}.Place(f, job)
+	}
+	return best
+}
+
+// Policies lists the built-in placement policies, in sweep order.
+func Policies() []PlacementPolicy {
+	return []PlacementPolicy{RoundRobin(), Random(), LeastLoaded(), Affinity()}
+}
+
+// ParsePlacement resolves a policy by name; it accepts each policy's
+// Name() plus the short command-line spellings "rr", "ll" and "affinity".
+func ParsePlacement(s string) (PlacementPolicy, error) {
+	switch strings.ToLower(s) {
+	case "rr", "round-robin", "roundrobin":
+		return RoundRobin(), nil
+	case "random":
+		return Random(), nil
+	case "ll", "least-loaded", "leastloaded":
+		return LeastLoaded(), nil
+	case "affinity", "config-affinity":
+		return Affinity(), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown placement policy %q (want rr, random, least-loaded or affinity)", s)
+}

@@ -1,0 +1,77 @@
+// Package conc holds the generic bounded worker pool introduced for the
+// experiment sweep engine and now shared with the cluster fleet: run n
+// independent cells on a pool of goroutines, collect their results in cell
+// order, and cancel on the first error.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested pool size: 0 or negative means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs the cells on a pool of workers goroutines and returns their
+// results in cell order, regardless of completion order. The first error
+// observed cancels the run: in-flight cells finish, no new cells start,
+// and that error is returned. workers <= 0 means GOMAXPROCS; workers == 1
+// runs the cells serially in order on the calling goroutine.
+func Map[T any](workers int, cells []func() (T, error)) ([]T, error) {
+	out := make([]T, len(cells))
+	if len(cells) == 0 {
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers == 1 {
+		for i, cell := range cells {
+			v, err := cell()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) || stop.Load() {
+					return
+				}
+				v, err := cells[i]()
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,10 +1,45 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"protean/internal/fabric"
 )
+
+// ConfigKey identifies a circuit configuration by content: for bitstream
+// images it is exactly the SharedProgram cache key (the SHA-256 of the
+// static bitstream), so two images carry equal keys iff they load
+// byte-identical configurations. Behavioural and model images, which have
+// no bitstream, hash their defining parameters instead. The cluster
+// dispatcher uses ConfigKey as its placement-affinity key: a node whose
+// bitstream store already holds a job's keys can skip the cold fetches.
+type ConfigKey [sha256.Size]byte
+
+// contentKey hashes the parameters that define a bitstream-less image:
+// everything that distinguishes one loadable configuration from another
+// must flow in here, or two different circuits would alias one affinity
+// key. kind domain-separates the constructors so a behavioural image can
+// never collide with a model image of the same name.
+func contentKey(kind, name string, content []byte, params ...int) ConfigKey {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(content)))
+	h.Write(buf[:])
+	h.Write(content)
+	for _, p := range params {
+		binary.LittleEndian.PutUint64(buf[:], uint64(p))
+		h.Write(buf[:])
+	}
+	var k ConfigKey
+	h.Sum(k[:0])
+	return k
+}
 
 // Model is the execution model of a custom-instruction circuit loaded into
 // a PFU: one Step per clock with the paper's init/done protocol, plus state
@@ -46,9 +81,15 @@ type Image struct {
 	// registers, and the OS cannot translate between them.
 	Stateful bool
 
+	// key is the content identity of the configuration; see ConfigKey.
+	key ConfigKey
+
 	// newInstance stamps out one execution model of the circuit.
 	newInstance func() (Model, error)
 }
+
+// Key returns the image's configuration-content identity (see ConfigKey).
+func (img *Image) Key() ConfigKey { return img.key }
 
 // NewInstance stamps out a fresh execution-model instance of the circuit
 // in its power-on state. Instances share the image's compiled program (for
@@ -87,7 +128,8 @@ func NewFabricImage(name string, n *fabric.Netlist, spec fabric.ArraySpec) (*Ima
 // SharedProgram); the image's NewInstance stamps instances of the shared
 // compiled program.
 func NewBitstreamImage(name string, bits []byte) (*Image, error) {
-	prog, err := SharedProgram(bits)
+	key := ConfigKey(sha256.Sum256(bits))
+	prog, err := sharedProgram(key, bits)
 	if err != nil {
 		return nil, fmt.Errorf("core: building %s: %w", name, err)
 	}
@@ -96,6 +138,7 @@ func NewBitstreamImage(name string, bits []byte) (*Image, error) {
 		Name:        name,
 		StaticBytes: len(bits),
 		StateBytes:  fabric.StateBytes(spec),
+		key:         key,
 		newInstance: func() (Model, error) {
 			return &fabricModel{inst: prog.NewInstance()}, nil
 		},
@@ -152,33 +195,54 @@ type BehaviouralSpec struct {
 	// StateWords is how many 32-bit words of internal state the model
 	// exposes to SaveState/LoadState.
 	StateWords int
+	// Content is any extra configuration baked into the model — the
+	// behavioural analogue of bitstream bytes. A Step closure that closes
+	// over parameters (a cipher key, a table) MUST surface them here, or
+	// two differently-configured circuits would share one ConfigKey and
+	// the cluster dispatcher would treat them as interchangeable.
+	Content []byte
 	// Step is the per-clock behaviour over the state slice. It must not
 	// touch anything but the state slice: images may be shared between
 	// concurrently running sessions.
 	Step func(state []uint32, a, b uint32, init bool) (out uint32, done bool)
 }
 
-// NewBehaviouralImage builds an Image from a behavioural model.
+// NewBehaviouralImage builds an Image from a behavioural model. Its
+// ConfigKey derives from the model's name and geometry, so images built
+// from the same BehaviouralSpec anywhere in the process — or in different
+// simulated nodes of a cluster — carry the same affinity key, exactly as
+// their gate-level equivalents would share a bitstream hash.
 func NewBehaviouralImage(spec BehaviouralSpec) *Image {
 	return &Image{
 		Name:        spec.Name,
 		StaticBytes: fabric.StaticBytes(spec.Spec),
 		StateBytes:  fabric.StateBytes(spec.Spec),
 		Stateful:    spec.Stateful,
+		key:         contentKey("behavioural", spec.Name, spec.Content, spec.Spec.W, spec.Spec.H, spec.StateWords, boolParam(spec.Stateful)),
 		newInstance: func() (Model, error) {
 			return &behaviouralModel{spec: spec, state: make([]uint32, spec.StateWords)}, nil
 		},
 	}
 }
 
+func boolParam(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // NewModelImage builds an Image whose instances come from an arbitrary
 // constructor — the escape hatch for models that fit neither the fabric
 // nor the behavioural constructors (tests use it for failure injection).
+// Its ConfigKey derives from the name and sizes only, so callers that
+// want distinct affinity keys must use distinct names.
 func NewModelImage(name string, staticBytes, stateBytes int, newInstance func() (Model, error)) *Image {
 	return &Image{
 		Name:        name,
 		StaticBytes: staticBytes,
 		StateBytes:  stateBytes,
+		key:         contentKey("model", name, nil, staticBytes, stateBytes),
 		newInstance: newInstance,
 	}
 }

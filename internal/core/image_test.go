@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"protean/internal/fabric"
+)
+
+// TestConfigKeyIdentity pins the affinity-key contract: equal
+// configurations share a key, different configurations — including ones
+// that differ only in baked-in content or statefulness — never do.
+func TestConfigKeyIdentity(t *testing.T) {
+	spec := fabric.ArraySpec{W: 5, H: 4}
+	step := func(st []uint32, a, b uint32, init bool) (uint32, bool) { return a + b, true }
+	base := BehaviouralSpec{Name: "ci", Spec: spec, StateWords: 1, Step: step}
+
+	if NewBehaviouralImage(base).Key() != NewBehaviouralImage(base).Key() {
+		t.Error("identical behavioural specs produced different keys")
+	}
+
+	variants := map[string]BehaviouralSpec{
+		"name":     {Name: "ci2", Spec: spec, StateWords: 1, Step: step},
+		"geometry": {Name: "ci", Spec: fabric.ArraySpec{W: 6, H: 4}, StateWords: 1, Step: step},
+		"state":    {Name: "ci", Spec: spec, StateWords: 2, Step: step},
+		"stateful": {Name: "ci", Spec: spec, StateWords: 1, Stateful: true, Step: step},
+		"content":  {Name: "ci", Spec: spec, StateWords: 1, Content: []byte{1}, Step: step},
+	}
+	baseKey := NewBehaviouralImage(base).Key()
+	for what, v := range variants {
+		if NewBehaviouralImage(v).Key() == baseKey {
+			t.Errorf("specs differing in %s share a ConfigKey", what)
+		}
+	}
+
+	// Content vs content: the twofish situation — same name and geometry,
+	// different baked-in cipher key.
+	a := base
+	a.Content = []byte("key-A")
+	b := base
+	b.Content = []byte("key-B")
+	if NewBehaviouralImage(a).Key() == NewBehaviouralImage(b).Key() {
+		t.Error("different baked-in content shares a ConfigKey")
+	}
+
+	// A model image never collides with a behavioural image of the same
+	// name (constructor domain separation).
+	m := NewModelImage("ci", fabric.StaticBytes(spec), fabric.StateBytes(spec), nil)
+	if m.Key() == baseKey {
+		t.Error("model image collides with behavioural image of the same name")
+	}
+
+	// Bitstream images key on content, not names: the same placed
+	// bitstream under two names is one configuration.
+	n := fabric.AlphaBlend()
+	fabric.Optimize(n)
+	cfg, _, err := fabric.Place(n, fabric.DefaultPFUSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := fabric.EncodeStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, err := NewBitstreamImage("x", bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := NewBitstreamImage("renamed", bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Key() != i2.Key() {
+		t.Error("identical bitstreams produced different keys (names must not matter)")
+	}
+}

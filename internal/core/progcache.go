@@ -9,12 +9,14 @@ import (
 )
 
 // programCache is the process-wide compiled-program cache, keyed by the
-// content hash of the static bitstream. Compiled programs are immutable
-// after Compile, so one program can back every image, session and sweep
-// cell that carries the same bitstream: the expensive decode + validate +
-// compile happens once per distinct circuit per process, and every
-// subsequent load anywhere is an instance stamp-out.
-var programCache memo.Cache[[sha256.Size]byte, *fabric.Compiled]
+// content hash of the static bitstream — the same ConfigKey the cluster
+// dispatcher uses as its placement-affinity key (Image.Key). Compiled
+// programs are immutable after Compile, so one program can back every
+// image, session and sweep cell that carries the same bitstream: the
+// expensive decode + validate + compile happens once per distinct circuit
+// per process, and every subsequent load anywhere is an instance
+// stamp-out.
+var programCache memo.Cache[ConfigKey, *fabric.Compiled]
 
 // SharedProgram decodes, validates and compiles a static bitstream,
 // memoizing the result process-wide by bitstream hash. Identical
@@ -22,7 +24,14 @@ var programCache memo.Cache[[sha256.Size]byte, *fabric.Compiled]
 // experiment sweep cells — share a single compiled program. The returned
 // program is read-only; stamp instances from it with NewInstance.
 func SharedProgram(bits []byte) (*fabric.Compiled, error) {
-	return programCache.Do(sha256.Sum256(bits), func() (*fabric.Compiled, error) {
+	return sharedProgram(ConfigKey(sha256.Sum256(bits)), bits)
+}
+
+// sharedProgram is SharedProgram for callers that already hold the
+// bitstream hash (NewBitstreamImage reuses it as the image's ConfigKey,
+// so the 54 KB bitstream is hashed once, not twice).
+func sharedProgram(key ConfigKey, bits []byte) (*fabric.Compiled, error) {
+	return programCache.Do(key, func() (*fabric.Compiled, error) {
 		img, err := fabric.Decode(bits)
 		if err != nil {
 			return nil, err

@@ -4,18 +4,17 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"protean"
 )
 
-// CSV renders a figure as comma-separated values, one row per x with a
-// column per series.
-func (f *Figure) CSV() string {
-	var sb strings.Builder
-	sb.WriteString("x")
+// Dataset lowers the figure onto the facade's shared tabular form: one row
+// per x with a column per series, empty cells where a series has no point.
+func (f *Figure) Dataset() *protean.Table {
+	t := &protean.Table{Header: []string{"x"}}
 	for _, s := range f.Series {
-		sb.WriteString(",")
-		sb.WriteString(strings.ReplaceAll(s.Label, ",", ";"))
+		t.Header = append(t.Header, s.Label)
 	}
-	sb.WriteByte('\n')
 	// Collect the x domain.
 	xs := map[int]bool{}
 	for _, s := range f.Series {
@@ -29,7 +28,7 @@ func (f *Figure) CSV() string {
 	}
 	sort.Ints(domain)
 	for _, x := range domain {
-		fmt.Fprintf(&sb, "%d", x)
+		row := []string{fmt.Sprint(x)}
 		for _, s := range f.Series {
 			val := ""
 			for i, sx := range s.X {
@@ -38,13 +37,17 @@ func (f *Figure) CSV() string {
 					break
 				}
 			}
-			sb.WriteString(",")
-			sb.WriteString(val)
+			row = append(row, val)
 		}
-		sb.WriteByte('\n')
+		t.Rows = append(t.Rows, row)
 	}
-	return sb.String()
+	return t
 }
+
+// CSV renders a figure as comma-separated values, one row per x with a
+// column per series, through the facade's shared serialization path
+// (protean.Table).
+func (f *Figure) CSV() string { return f.Dataset().CSV() }
 
 // plotGlyphs label series points in the ASCII plot.
 const plotGlyphs = "ox+*#@%&=~^!abcdefgh"

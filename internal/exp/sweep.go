@@ -2,11 +2,10 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"protean"
+	"protean/internal/conc"
+	"protean/internal/rng"
 )
 
 // Sweeper carries sweep-wide configuration for the figure generators.
@@ -27,6 +26,15 @@ type Sweeper struct {
 	Progress protean.Sink
 }
 
+// CellSeed derives a deterministic per-cell seed from the sweep seed and a
+// cell index path (splitmix-style, internal/rng) — the same derivation the
+// cluster fleet uses for per-node and per-job seeds. The paper-figure
+// sweeps deliberately do NOT use it: there every series shares the sweep
+// seed so policy comparisons are paired. Sweeps whose cells must be
+// mutually independent (the placement sweep's fleet runs) derive their
+// seeds here.
+func (sw Sweeper) CellSeed(path ...uint64) int64 { return rng.Derive(sw.Seed, path...) }
+
 // emit reports one finished sweep cell to the progress sink.
 func (sw Sweeper) emit(label string, cycle uint64, format string, args ...any) {
 	if sw.Progress == nil {
@@ -41,69 +49,14 @@ func (sw Sweeper) emit(label string, cycle uint64, format string, args ...any) {
 	})
 }
 
-func resolveWorkers(n int) int {
-	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return n
-}
-
 // Sweep runs the cells on a pool of workers goroutines and returns their
 // results in cell order, regardless of completion order. The first error
 // observed cancels the sweep: in-flight cells finish, no new cells start,
 // and that error is returned. workers <= 0 means GOMAXPROCS; workers == 1
-// runs the cells serially in order on the calling goroutine.
+// runs the cells serially in order on the calling goroutine. (The pool
+// itself lives in internal/conc, shared with the cluster fleet.)
 func Sweep[T any](workers int, cells []func() (T, error)) ([]T, error) {
-	out := make([]T, len(cells))
-	if len(cells) == 0 {
-		return out, nil
-	}
-	workers = resolveWorkers(workers)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	if workers == 1 {
-		for i, cell := range cells {
-			v, err := cell()
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	var (
-		next     atomic.Int64
-		stop     atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	next.Store(-1)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(cells) || stop.Load() {
-					return
-				}
-				v, err := cells[i]()
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					stop.Store(true)
-					return
-				}
-				out[i] = v
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return conc.Map(workers, cells)
 }
 
 // gridSeries is one row of an instance-sweep grid: a labelled series whose

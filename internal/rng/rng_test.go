@@ -1,0 +1,64 @@
+package rng
+
+import "testing"
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 42 and 43 collided on %d of 1000 outputs", same)
+	}
+}
+
+func TestBelowRange(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := s.Below(13); v >= 13 {
+			t.Fatalf("Below(13) = %d", v)
+		}
+	}
+}
+
+func TestDeriveIsAPureFunction(t *testing.T) {
+	if Derive(1, 2, 3) != Derive(1, 2, 3) {
+		t.Fatal("Derive not deterministic")
+	}
+}
+
+func TestDeriveSeparatesPaths(t *testing.T) {
+	seen := map[int64][]string{}
+	add := func(label string, v int64) {
+		seen[v] = append(seen[v], label)
+	}
+	add("base", Derive(1))
+	for i := uint64(0); i < 64; i++ {
+		add("cell", Derive(1, i))
+		add("job", Derive(1, 0, i))
+		add("other-base", Derive(2, i))
+	}
+	for v, labels := range seen {
+		if len(labels) > 1 {
+			t.Errorf("derived seed %#x collides across %v", v, labels)
+		}
+	}
+}
+
+func TestDeriveDiffersFromBase(t *testing.T) {
+	for _, base := range []int64{0, 1, -1, 1 << 40} {
+		if Derive(base, 0) == base {
+			t.Errorf("Derive(%d, 0) returned the base seed", base)
+		}
+	}
+}

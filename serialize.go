@@ -1,0 +1,90 @@
+package protean
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rectangular dataset — a header plus rows — with one CSV
+// serialization path shared by everything that exports tabular data: the
+// experiment figures (exp.Figure.CSV), Result.WriteCSV and
+// FleetResult.WriteCSV all build a Table instead of formatting ad hoc.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row, formatting each cell with fmt.Sprint.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV writes the table as comma-separated values, one line per row.
+// Commas inside cells are replaced by semicolons — the same convention the
+// figure CSVs have always used — so the output stays trivially splittable.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeLine := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strings.ReplaceAll(c, ",", ";"))
+		}
+		sb.WriteByte('\n')
+	}
+	writeLine(t.Header)
+	for _, row := range t.Rows {
+		writeLine(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CSV renders the table as a CSV string.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	t.WriteCSV(&sb) // strings.Builder never errors
+	return sb.String()
+}
+
+// Table returns the per-process outcomes as a tabular dataset — the rows
+// Result.WriteCSV serializes.
+func (r *Result) Table() *Table {
+	t := &Table{Header: []string{
+		"pid", "name", "workload", "state", "exit_code",
+		"start", "completion", "switches", "faults", "instrs", "ok",
+	}}
+	for _, p := range r.Procs {
+		t.AddRow(p.PID, p.Name, p.Workload, p.State, p.ExitCode,
+			p.Start, p.Completion, p.Switches, p.Faults, p.Instrs, p.OK())
+	}
+	return t
+}
+
+// WriteCSV writes the per-process outcomes as CSV.
+func (r *Result) WriteCSV(w io.Writer) error { return r.Table().WriteCSV(w) }
+
+// MarshalJSON renders the result with its verification verdict attached:
+// the Result fields plus an "error" key carrying Result.Err's message (or
+// "" when every process exited cleanly with its expected code).
+func (r *Result) MarshalJSON() ([]byte, error) {
+	type plain Result // drop the method set to avoid recursion
+	return json.Marshal(struct {
+		*plain
+		Error string `json:"error"`
+	}{(*plain)(r), errString(r.Err())})
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
