@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 
 	"protean/internal/cluster"
 	"protean/internal/core"
@@ -33,14 +34,32 @@ var (
 	PlaceAffinity    = cluster.Affinity()
 )
 
+// PlaceWeightedAffinity is the locality-vs-balance hybrid: each node is
+// scored weight·affinityHits − backlogCycles and the maximum wins, so
+// warm configurations attract work until the queue-length difference
+// outweighs them. weight is cycles per warm configuration; 0 means
+// DefaultAffinityWeight. In a PlacementSpec this is policy
+// "weighted-affinity" with the weight in PlacementSpec.Weight.
+func PlaceWeightedAffinity(weight uint64) PlacementPolicy {
+	return cluster.WeightedAffinity(weight)
+}
+
 // Placements lists the built-in placement policies in sweep order.
 func Placements() []PlacementPolicy { return cluster.Policies() }
 
 // ParsePlacement resolves a placement policy by name, accepting the short
-// command-line spellings "rr", "ll" and "affinity".
+// command-line spellings "rr", "ll", "affinity" and "wa".
 func ParsePlacement(s string) (PlacementPolicy, error) { return cluster.ParsePlacement(s) }
 
 // ClusterOption configures a Cluster at construction time.
+//
+// Cluster options are sugar over the declarative Scenario spec: every
+// option populates a Scenario field (Cluster.Scenario snapshots the
+// result), and Cluster.Run executes through protean.Start exactly like a
+// spec loaded from JSON. New code that wants portable run descriptions —
+// heterogeneous fleets, admission bounds, Poisson or trace arrivals —
+// should declare a Scenario; the option constructors remain fully
+// supported for the homogeneous cases they can express.
 type ClusterOption func(*clusterConfig) error
 
 type clusterConfig struct {
@@ -110,12 +129,14 @@ func WithClusterWorkers(n int) ClusterOption {
 }
 
 // WithOpenLoop switches from the default closed-loop batch mode (all jobs
-// present at cycle 0) to open-loop arrivals: jobs arrive with
-// deterministic Poisson-ish gaps averaging meanGapCycles. Passing 0
-// keeps batch mode (so a command-line -gap flag can be forwarded
-// unconditionally); gaps above 2^48 cycles (~33 simulated days at
-// 100 MHz) are rejected so arrival arithmetic can never overflow the
-// fleet clock.
+// present at cycle 0) to open-loop arrivals with deterministic uniform
+// jitter averaging meanGapCycles — the ArrivalSpec "uniform" process.
+// Passing 0 keeps batch mode (so a command-line -gap flag can be
+// forwarded unconditionally); gaps above 2^48 cycles (~33 simulated days
+// at 100 MHz) are rejected so arrival arithmetic can never overflow the
+// fleet clock. For memoryless queueing, declare a Scenario with the
+// "poisson" process instead — the uniform jitter is kept for
+// reproducibility with option-built fleets.
 func WithOpenLoop(meanGapCycles uint64) ClusterOption {
 	return func(c *clusterConfig) error {
 		if meanGapCycles > cluster.MaxMeanGap {
@@ -147,14 +168,6 @@ func WithFleetProgress(sink Sink) ClusterOption {
 	}
 }
 
-// fleetJob is one submitted job: a workload to run somewhere in the fleet.
-type fleetJob struct {
-	workload  string
-	instances int
-	items     int
-	job       cluster.Job
-}
-
 // Cluster is a simulated fleet of workstations — each node the machine +
 // POrSCHE kernel of a Session — fed from a job queue by a placement
 // dispatcher. Build one with NewCluster, fill the queue with Submit, then
@@ -167,18 +180,22 @@ type fleetJob struct {
 //	}
 //	fr, err := c.Run(ctx)
 //
-// Like Session, a Cluster is single-use and not safe for concurrent use;
-// its Run executes jobs concurrently internally.
+// A Cluster is option-flavoured sugar over the Scenario spec: the
+// configuration it accumulates is exactly a Scenario (snapshot it with
+// Cluster.Scenario, serialize it with MarshalJSON), and Run executes
+// through protean.Start. Like Session, a Cluster is single-use and not
+// safe for concurrent use; its Run executes jobs concurrently internally.
 type Cluster struct {
 	cfg  clusterConfig
 	scfg config // resolved per-job session configuration (scale, soft, …)
-	jobs []fleetJob
+	jobs []JobSpec
 	ran  bool
 }
 
 // NewCluster builds an idle fleet from functional options. The zero
 // configuration is 4 nodes, round-robin placement, batch arrivals, seed 1,
-// default-scale sessions.
+// default-scale sessions. Declaring a Scenario and calling Start is the
+// spec-first equivalent.
 func NewCluster(opts ...ClusterOption) (*Cluster, error) {
 	cfg := clusterConfig{nodes: 4, placement: PlaceRoundRobin, seed: 1}
 	for _, opt := range opts {
@@ -208,42 +225,54 @@ func NewCluster(opts ...ClusterOption) (*Cluster, error) {
 // dispatcher picks. items <= 0 means the workload's scaled default.
 // Heterogeneous fleets are just repeated Submit calls; the job's
 // configuration keys (for affinity placement) come from its workload
-// template's images.
+// template's images. Submitting to a cluster whose Run has started is an
+// error — the job list is part of the scenario the run resolved.
 func (c *Cluster) Submit(workload string, instances, items int) error {
 	if c.ran {
 		return errClusterRan
 	}
-	w, ok := lookupWorkload(workload)
-	if !ok {
-		return fmt.Errorf("protean: unknown workload %q (registered: %v)", workload, Workloads())
-	}
 	if instances <= 0 {
 		return fmt.Errorf("protean: need at least one instance of %q", workload)
 	}
-	if items <= 0 {
-		items = c.scfg.scale.Items(workload)
-		if items <= 0 {
-			return fmt.Errorf("protean: workload %q declares no default work-unit count; pass items > 0", workload)
-		}
+	if items < 0 {
+		items = 0
 	}
-	prog, err := buildTemplate(w, items, c.scfg.soft)
+	// Resolve and build eagerly so unknown workloads, missing defaults
+	// and template build errors surface at Submit time, and the snapshot
+	// Scenario carries explicit items.
+	fj, err := resolveJob(JobSpec{Workload: workload, Instances: instances, Items: items},
+		c.scfg.scale, c.scfg.soft)
 	if err != nil {
-		return fmt.Errorf("protean: build %q: %w", workload, err)
+		return fmt.Errorf("protean: %w", err)
 	}
-	job := cluster.Job{Label: fmt.Sprintf("%s x%d", prog.Name, instances)}
-	for _, img := range prog.Images {
-		job.Circuits = append(job.Circuits, cluster.Circuit{
-			Key:   cluster.Key(img.Key()),
-			Bytes: img.StaticBytes,
-		})
-	}
-	c.jobs = append(c.jobs, fleetJob{
-		workload:  workload,
-		instances: instances,
-		items:     items,
-		job:       job,
-	})
+	c.jobs = append(c.jobs, JobSpec{Workload: workload, Instances: fj.instances, Items: fj.items})
 	return nil
+}
+
+// Scenario snapshots the cluster's configuration and job queue as the
+// equivalent declarative spec: running the snapshot through Start (or
+// serializing it with MarshalJSON and reloading via LoadScenario) yields
+// a byte-identical FleetResult. That round trip holds for the built-in
+// placement policies; a custom policy snapshots by its Name() only,
+// which MarshalJSON/Validate reject as unknown — run such a snapshot by
+// passing the policy value itself via WithRunPlacements (what
+// Cluster.Run does internally).
+func (c *Cluster) Scenario() Scenario {
+	sc := Scenario{
+		Seed:    c.cfg.seed,
+		Workers: c.cfg.workers,
+		Nodes: []NodeSpec{{
+			Count:      c.cfg.nodes,
+			StoreSlots: c.cfg.slots,
+			Session:    c.scfg.spec(),
+		}},
+		Placement: placementSpecOf(c.cfg.placement),
+		Jobs:      slices.Clone(c.jobs),
+	}
+	if c.cfg.meanGap > 0 {
+		sc.Arrivals = ArrivalSpec{Process: ArrivalUniform, MeanGap: c.cfg.meanGap}
+	}
+	return sc
 }
 
 // Run simulates the fleet until every submitted job has completed or ctx
@@ -272,145 +301,32 @@ func (c *Cluster) RunPlacements(ctx context.Context, policies ...PlacementPolicy
 	if c.ran {
 		return nil, errClusterRan
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if len(c.jobs) == 0 {
 		return nil, fmt.Errorf("protean: nothing to run — submit a job first")
 	}
 	if len(policies) == 0 {
 		return nil, fmt.Errorf("protean: no placement policies given")
 	}
-	for _, p := range policies {
-		if p == nil {
-			return nil, fmt.Errorf("protean: nil placement policy")
-		}
-	}
-	c.ran = true
-
-	// results[i] is written by exactly one worker (job i) and read only
-	// after the pool joins.
-	results := make([]*Result, len(c.jobs))
-	runner := func(i int, seed int64) (cluster.Exec, error) {
-		j := c.jobs[i]
-		opts := make([]Option, 0, len(c.cfg.session)+1)
-		opts = append(opts, c.cfg.session...)
-		opts = append(opts, WithSeed(seed))
-		s, err := New(opts...)
-		if err != nil {
-			return cluster.Exec{}, err
-		}
-		if _, err := s.Spawn(j.workload, j.instances, j.items); err != nil {
-			return cluster.Exec{}, err
-		}
-		res, err := s.Run(ctx)
-		if err != nil {
-			return cluster.Exec{}, err
-		}
-		results[i] = res
-		return cluster.Exec{Cycles: res.Cycles}, nil
-	}
-
-	ccfg := cluster.Config{
-		Nodes:              c.cfg.nodes,
-		StoreSlots:         c.cfg.slots,
-		FetchBytesPerCycle: int(c.scfg.scale.ConfigBytesPerCycle()),
-		Seed:               c.cfg.seed,
-		Workers:            c.cfg.workers,
-		Arrivals:           cluster.Arrivals{MeanGap: c.cfg.meanGap},
-	}
+	opts := []StartOption{WithRunPlacements(policies...)}
 	if c.cfg.sink != nil {
-		sink := c.cfg.sink
-		jobs := c.jobs
-		ccfg.OnExec = func(i int, e cluster.Exec) {
-			// The runner stored results[i] before OnExec fires (same
-			// goroutine), so the event can carry the verification verdict.
-			ok := results[i] != nil && results[i].Err() == nil
-			sink.Event(Event{
-				Kind:  EventJobDone,
-				Label: jobs[i].job.Label,
-				Cycle: e.Cycles,
-				OK:    ok,
-				Message: fmt.Sprintf("job %-24s executed in %12d cycles (verified=%v)",
-					jobs[i].job.Label, e.Cycles, ok),
-			})
-		}
+		opts = append(opts, WithRunProgress(c.cfg.sink))
 	}
-	jobs := make([]cluster.Job, len(c.jobs))
-	for i := range c.jobs {
-		jobs[i] = c.jobs[i].job
+	if extras := c.scfg.extraOptions(); len(extras) > 0 {
+		opts = append(opts, WithRunSessionOptions(extras...))
 	}
-	execs, err := cluster.Execute(ccfg, jobs, runner)
+	// Mark the cluster consumed before Start launches any goroutine, so
+	// a Submit racing the run (e.g. from a progress sink) observes it —
+	// the write happens-before the workers exist.
+	c.ran = true
+	r, err := Start(ctx, c.Scenario(), opts...)
 	if err != nil {
+		// Resolution failures are validation errors: they do not consume
+		// the cluster, matching NewCluster-time option errors; Start
+		// spawns nothing when resolution fails.
+		c.ran = false
 		return nil, err
 	}
-	frs := make([]*FleetResult, len(policies))
-	for pi, pol := range policies {
-		ccfg.Policy = pol
-		tr, err := cluster.Replay(ccfg, jobs, execs)
-		if err != nil {
-			return nil, err
-		}
-		fr := c.assemble(tr, results)
-		if c.cfg.sink != nil {
-			c.cfg.sink.Event(Event{
-				Kind:  EventFleetDone,
-				Procs: len(c.jobs),
-				Cycle: fr.Makespan,
-				OK:    fr.Err() == nil,
-				Message: fmt.Sprintf("fleet done: %d jobs on %d nodes (%s), makespan %d, config loads %d (%d cold, %d warm)",
-					len(c.jobs), c.cfg.nodes, fr.Policy, fr.Makespan, fr.ConfigLoads(), fr.ColdLoads, fr.WarmHits),
-			})
-		}
-		frs[pi] = fr
-	}
-	return frs, nil
-}
-
-// assemble aggregates the dispatcher trace and the per-job session
-// results into a FleetResult.
-func (c *Cluster) assemble(tr *cluster.Trace, results []*Result) *FleetResult {
-	fr := &FleetResult{
-		Policy:      tr.Policy,
-		Makespan:    tr.Makespan,
-		Busy:        tr.Busy,
-		ColdLoads:   tr.ColdLoads,
-		WarmHits:    tr.WarmHits,
-		FetchCycles: tr.FetchCycles,
-	}
-	for n, nt := range tr.Nodes {
-		fr.Nodes = append(fr.Nodes, NodeResult{
-			Node:        n,
-			Jobs:        nt.Jobs,
-			Busy:        nt.Busy,
-			ColdLoads:   nt.ColdLoads,
-			WarmHits:    nt.WarmHits,
-			FetchCycles: nt.FetchCycles,
-			Completion:  nt.Completion,
-		})
-	}
-	for i, jt := range tr.Jobs {
-		res := results[i]
-		fr.Jobs = append(fr.Jobs, JobResult{
-			ID:          jt.ID,
-			Label:       jt.Label,
-			Workload:    c.jobs[i].workload,
-			Node:        jt.Node,
-			Arrival:     jt.Arrival,
-			Start:       jt.Start,
-			Completion:  jt.Completion,
-			ColdLoads:   jt.ColdLoads,
-			WarmHits:    jt.WarmHits,
-			FetchCycles: jt.FetchCycles,
-			Run:         res,
-		})
-		if res != nil {
-			addCIS(&fr.CIS, res.CIS)
-			addKernel(&fr.Kernel, res.Kernel)
-			addRFU(&fr.RFU, res.RFU)
-		}
-	}
-	return fr
+	return r.WaitAll()
 }
 
 // addCIS, addKernel and addRFU fold one job's session statistics into the

@@ -1,11 +1,11 @@
 // Command experiments regenerates the paper's evaluation: Figure 2 (basic
 // scheduling test), Figure 3 (software dispatch test), the claim checks,
-// the ablations described in DESIGN.md, and the fleet placement sweep
-// (F1, DESIGN.md §8).
+// the ablations described in DESIGN.md, the fleet placement sweep (F1,
+// DESIGN.md §8) and the admission sweep (F2, DESIGN.md §9).
 //
 // Usage:
 //
-//	experiments [-fig 2|3|ablations|claims|cluster|all] [-scale N] [-seed S] [-workers N] [-csv dir] [-quiet]
+//	experiments [-fig 2|3|ablations|claims|cluster|admission|all] [-scale N] [-seed S] [-workers N] [-csv dir] [-quiet]
 //
 // -scale divides the paper-size experiment (see internal/exp.Scale); the
 // default of 100 reproduces every figure in a couple of minutes. -scale 1
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, ablations, claims, cluster, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 2, 3, ablations, claims, cluster, admission, all")
 	scaleF := flag.Int("scale", 100, "scale divisor (1 = paper size)")
 	seed := flag.Int64("seed", 1, "seed for the random replacement policy")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
@@ -55,9 +55,9 @@ func main() {
 
 func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writer) error {
 	switch which {
-	case "2", "3", "ablations", "claims", "cluster", "all":
+	case "2", "3", "ablations", "claims", "cluster", "admission", "all":
 	default:
-		return fmt.Errorf("unknown -fig %q (want 2, 3, ablations, claims, cluster or all)", which)
+		return fmt.Errorf("unknown -fig %q (want 2, 3, ablations, claims, cluster, admission or all)", which)
 	}
 	saveCSV := func(name string, f *exp.Figure) error {
 		if csvDir == "" {
@@ -200,6 +200,22 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 			return err
 		}
 		if err := saveCSV("cluster_configloads.csv", f1l); err != nil {
+			return err
+		}
+	}
+
+	if which == "admission" || which == "all" {
+		f2t, f2s, err := sw.AdmissionSweep()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, f2t.ASCII(64, 20))
+		fmt.Fprintln(out, f2t.Table())
+		fmt.Fprintln(out, f2s.Table())
+		if err := saveCSV("cluster_admission_tail.csv", f2t); err != nil {
+			return err
+		}
+		if err := saveCSV("cluster_admission_shed.csv", f2s); err != nil {
 			return err
 		}
 	}

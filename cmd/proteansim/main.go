@@ -17,13 +17,25 @@
 // simulated fleet instead of one session:
 //
 //	proteansim -cluster -app mix -jobs 12 -n 2 -nodes 4
-//	           [-placement rr|random|least-loaded|affinity]
+//	           [-placement rr|random|least-loaded|affinity|wa]
 //	           [-slots N] [-gap cycles]
 //
 // Each job runs -n instances of the next rotation entry in its own
 // session on whichever node the placement policy picks; the report shows
 // the per-job timeline, per-node utilisation and the fleet-level
 // configuration traffic that affinity placement saves.
+//
+// With -scenario the whole run comes from a declarative JSON spec
+// instead of flags — heterogeneous node classes, Poisson or trace
+// arrivals, admission bounds and a tunable weighted-affinity weight are
+// all spec-only features (the hybrid itself is also reachable as
+// -placement wa at its default weight):
+//
+//	proteansim -scenario testdata/scenario_hetero.json [-progress]
+//
+// The spec format is protean.Scenario (see LoadScenario); the report
+// adds the admission outcome (shed/deferred) and the sojourn-latency
+// distribution of the admitted jobs.
 package main
 
 import (
@@ -54,9 +66,10 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "run a simulated fleet fed from a job queue instead of one session")
 	nodes := flag.Int("nodes", 4, "cluster: fleet size")
 	jobs := flag.Int("jobs", 8, "cluster: number of jobs (rotating through the -app list)")
-	placement := flag.String("placement", "affinity", "cluster: placement policy: rr, random, least-loaded, affinity")
+	placement := flag.String("placement", "affinity", "cluster: placement policy: rr, random, least-loaded, affinity, wa (weighted-affinity)")
 	slots := flag.Int("slots", 0, "cluster: per-node bitstream store slots (0 = default)")
 	gap := flag.Uint64("gap", 0, "cluster: mean inter-arrival gap in cycles (0 = batch arrivals)")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON file); only -progress applies alongside")
 	flag.Parse()
 
 	if *list {
@@ -64,7 +77,24 @@ func main() {
 		return
 	}
 	var err error
-	if *clusterMode {
+	if *scenarioPath != "" {
+		// The spec is the whole configuration: every explicitly set flag
+		// other than -scenario/-progress would be silently overridden, so
+		// reject them instead.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "progress":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			err = fmt.Errorf("-scenario takes the whole configuration from the spec file; drop %s", strings.Join(conflicts, ", "))
+		} else {
+			err = runScenario(*scenarioPath, *progress)
+		}
+	} else if *clusterMode {
 		if *showTrace || *disasmN > 0 {
 			err = fmt.Errorf("-trace and -disasm are per-session debugging aids and are not supported with -cluster")
 		} else {
@@ -130,14 +160,51 @@ func runCluster(appName string, jobs, perJob, nodes int, placementName string, s
 	if err != nil {
 		return err
 	}
+	return printFleet(fr)
+}
 
+// runScenario runs the -scenario mode: the whole fleet description —
+// nodes, arrivals, admission, placement, jobs — comes from one JSON
+// spec file.
+func runScenario(path string, progress bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sc, err := protean.LoadScenario(data)
+	if err != nil {
+		return err
+	}
+	var opts []protean.StartOption
+	if progress {
+		opts = append(opts, protean.WithRunProgress(protean.WriterSink(os.Stderr)))
+	}
+	fr, err := protean.RunScenario(context.Background(), sc, opts...)
+	if err != nil {
+		return err
+	}
+	return printFleet(fr)
+}
+
+// printFleet renders the fleet report shared by -cluster and -scenario:
+// per-job timeline, per-node utilisation, configuration traffic, and —
+// when admission control or open-loop arrivals are in play — the shed /
+// deferral outcome and the sojourn-latency distribution.
+func printFleet(fr *protean.FleetResult) error {
 	fmt.Printf("fleet: %d nodes, placement %s, %d jobs, makespan %d cycles\n\n",
-		nodes, fr.Policy, len(fr.Jobs), fr.Makespan)
+		len(fr.Nodes), fr.Policy, len(fr.Jobs), fr.Makespan)
 	fmt.Println("jobs:")
 	for _, j := range fr.Jobs {
+		if j.Shed {
+			fmt.Printf("  %-3d %-24s SHED at arrival=%d (admission bound)\n", j.ID, j.Label, j.Arrival)
+			continue
+		}
 		verdict := "OK"
 		if j.Run == nil || j.Run.Err() != nil {
 			verdict = "FAILED"
+		}
+		if j.Deferred {
+			verdict += fmt.Sprintf(" (deferred %d)", j.DeferCycles)
 		}
 		fmt.Printf("  %-3d %-24s node=%d arrival=%-10d start=%-10d completion=%-12d cold=%d warm=%d %s\n",
 			j.ID, j.Label, j.Node, j.Arrival, j.Start, j.Completion, j.ColdLoads, j.WarmHits, verdict)
@@ -148,14 +215,26 @@ func runCluster(appName string, jobs, perJob, nodes int, placementName string, s
 		if fr.Makespan > 0 {
 			util = 100 * float64(n.Busy) / float64(fr.Makespan)
 		}
-		fmt.Printf("  node %-2d jobs=%-3d busy=%-12d (%5.1f%%) cold-loads=%-4d warm-hits=%-4d fetch-cycles=%d\n",
-			n.Node, n.Jobs, n.Busy, util, n.ColdLoads, n.WarmHits, n.FetchCycles)
+		tag := ""
+		if n.ClockScale > 1 {
+			tag = fmt.Sprintf(" clock=x%d", n.ClockScale)
+		}
+		fmt.Printf("  node %-2d jobs=%-3d busy=%-12d (%5.1f%%) cold-loads=%-4d warm-hits=%-4d fetch-cycles=%d%s\n",
+			n.Node, n.Jobs, n.Busy, util, n.ColdLoads, n.WarmHits, n.FetchCycles, tag)
 	}
 	fmt.Printf("\nconfig loads: %d total = %d in-session + %d cold fetches (%d warm hits, %d fetch cycles)\n",
 		fr.ConfigLoads(), fr.CIS.Loads, fr.ColdLoads, fr.WarmHits, fr.FetchCycles)
 	cs := fr.CIS
 	fmt.Printf("CIS (all nodes): faults=%d mapping-faults=%d loads=%d restores=%d evictions=%d\n",
 		cs.Faults, cs.MappingFaults, cs.Loads, cs.Restores, cs.Evictions)
+	if fr.Shed > 0 || fr.Deferred > 0 {
+		fmt.Printf("admission: %d shed, %d deferred (%d defer cycles)\n", fr.Shed, fr.Deferred, fr.DeferCycles)
+	}
+	l := fr.Latency
+	if l.Jobs > 0 {
+		fmt.Printf("latency (%d admitted jobs): mean=%d p50=%d p95=%d p99=%d max=%d\n",
+			l.Jobs, l.Mean, l.P50, l.P95, l.P99, l.Max)
+	}
 	return fr.Err()
 }
 

@@ -9,6 +9,11 @@ import (
 // NodeResult aggregates one node's fleet activity.
 type NodeResult struct {
 	Node int
+	// Class is the node's execution-profile class (nodes with identical
+	// session specs share one class); ClockScale is its clock multiplier
+	// relative to the reference workstation.
+	Class      int
+	ClockScale int
 	// Jobs is how many jobs the dispatcher placed here.
 	Jobs int
 	// Busy is the node's total occupied time: job service plus bitstream
@@ -31,7 +36,8 @@ type JobResult struct {
 	Label string
 	// Workload is the registry name the job was submitted from.
 	Workload string
-	// Node is where the dispatcher placed it.
+	// Node is where the dispatcher placed it, -1 when admission control
+	// shed it.
 	Node int
 	// Arrival, Start and Completion are fleet-clock cycles.
 	Arrival, Start, Completion uint64
@@ -39,9 +45,28 @@ type JobResult struct {
 	// store traffic (see NodeResult).
 	ColdLoads, WarmHits uint64
 	FetchCycles         uint64
+	// Latency is the job's sojourn time, Completion − Arrival: queueing
+	// (including any admission deferral) plus fetches plus service. 0
+	// for shed jobs.
+	Latency uint64
+	// Shed reports that admission control rejected the job; Deferred
+	// that it waited DeferCycles before placement re-ran.
+	Shed        bool
+	Deferred    bool
+	DeferCycles uint64
 	// Run is the job's session result (per-process outcomes, CIS / kernel
-	// / RFU statistics).
+	// / RFU statistics); nil for shed jobs.
 	Run *Result
+}
+
+// LatencyStats summarizes the fleet's sojourn-time distribution over
+// admitted jobs: integer mean and nearest-rank percentiles, exactly
+// reproducible run to run.
+type LatencyStats struct {
+	// Jobs is the sample size (admitted jobs).
+	Jobs int
+	// Mean, P50, P95, P99 and Max are cycles of sojourn time.
+	Mean, P50, P95, P99, Max uint64
 }
 
 // FleetResult is the structured outcome of Cluster.Run.
@@ -62,8 +87,15 @@ type FleetResult struct {
 	// locality saves.
 	ColdLoads, WarmHits uint64
 	FetchCycles         uint64
-	// CIS, Kernel and RFU aggregate every job session's statistics
-	// (sums; Kernel.MaxIRQLatency is the fleet maximum).
+	// Shed and Deferred count admission-control outcomes; DeferCycles
+	// sums the deferral waits.
+	Shed, Deferred int
+	DeferCycles    uint64
+	// Latency is the sojourn-time distribution over admitted jobs — the
+	// tail the admission bound trades against shed work.
+	Latency LatencyStats
+	// CIS, Kernel and RFU aggregate every admitted job session's
+	// statistics (sums; Kernel.MaxIRQLatency is the fleet maximum).
 	CIS    CISStats
 	Kernel KernelStats
 	RFU    RFUStats
@@ -75,10 +107,14 @@ type FleetResult struct {
 // minimizes — the paper's Figure-2 cost at fleet scale.
 func (r *FleetResult) ConfigLoads() uint64 { return r.CIS.Loads + r.ColdLoads }
 
-// Err returns nil when every job's session verified cleanly, and an error
-// naming the first failing job otherwise.
+// Err returns nil when every admitted job's session verified cleanly,
+// and an error naming the first failing job otherwise. Shed jobs carry
+// no session result and are not failures — consult Shed for them.
 func (r *FleetResult) Err() error {
 	for _, j := range r.Jobs {
+		if j.Shed {
+			continue
+		}
 		if j.Run == nil {
 			return fmt.Errorf("protean: job %d (%s) has no session result", j.ID, j.Label)
 		}
@@ -105,6 +141,7 @@ func (r *FleetResult) Table() *Table {
 	t := &Table{Header: []string{
 		"job", "label", "workload", "node", "arrival", "start", "completion",
 		"cold_loads", "warm_hits", "fetch_cycles", "session_cycles", "session_loads", "ok",
+		"latency", "shed",
 	}}
 	for _, j := range r.Jobs {
 		var cycles, loads uint64
@@ -114,7 +151,8 @@ func (r *FleetResult) Table() *Table {
 			ok = j.Run.Err() == nil
 		}
 		t.AddRow(j.ID, j.Label, j.Workload, j.Node, j.Arrival, j.Start, j.Completion,
-			j.ColdLoads, j.WarmHits, j.FetchCycles, cycles, loads, ok)
+			j.ColdLoads, j.WarmHits, j.FetchCycles, cycles, loads, ok,
+			j.Latency, j.Shed)
 	}
 	return t
 }

@@ -17,7 +17,7 @@ func key(tag byte) Key {
 // fixedRunner returns a runner whose job i takes cycles[i%len(cycles)]
 // cycles, independent of seed.
 func fixedRunner(cycles ...uint64) Runner {
-	return func(i int, _ int64) (Exec, error) {
+	return func(i, _ int, _ int64) (Exec, error) {
 		return Exec{Cycles: cycles[i%len(cycles)]}, nil
 	}
 }
@@ -56,12 +56,22 @@ func TestStoreLRU(t *testing.T) {
 	}
 }
 
+// expand is a test helper unwrapping the arrival expansion.
+func expand(t *testing.T, a Arrivals, n int, seed int64) []uint64 {
+	t.Helper()
+	out, err := a.times(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestArrivalTimes(t *testing.T) {
-	if got := (Arrivals{}).times(4, 1); !reflect.DeepEqual(got, []uint64{0, 0, 0, 0}) {
+	if got := expand(t, Arrivals{}, 4, 1); !reflect.DeepEqual(got, []uint64{0, 0, 0, 0}) {
 		t.Errorf("batch arrivals = %v", got)
 	}
 	a := Arrivals{MeanGap: 1000}
-	got := a.times(64, 1)
+	got := expand(t, a, 64, 1)
 	prev := uint64(0)
 	for i, v := range got {
 		gap := v - prev
@@ -70,11 +80,58 @@ func TestArrivalTimes(t *testing.T) {
 		}
 		prev = v
 	}
-	if !reflect.DeepEqual(got, a.times(64, 1)) {
+	if !reflect.DeepEqual(got, expand(t, a, 64, 1)) {
 		t.Error("arrival times not deterministic")
 	}
-	if reflect.DeepEqual(got, a.times(64, 2)) {
+	if reflect.DeepEqual(got, expand(t, a, 64, 2)) {
 		t.Error("arrival times ignore the seed")
+	}
+	// The legacy zero Kind must mean "uniform iff MeanGap > 0" so
+	// option-built fleets keep their PR 4 arrival sequences bit-for-bit.
+	if !reflect.DeepEqual(got, expand(t, Arrivals{Kind: ArriveUniform, MeanGap: 1000}, 64, 1)) {
+		t.Error("explicit uniform differs from the legacy default expansion")
+	}
+}
+
+func TestArrivalPoisson(t *testing.T) {
+	a := Arrivals{Kind: ArrivePoisson, MeanGap: 1000}
+	got := expand(t, a, 512, 1)
+	prev := uint64(0)
+	var sum uint64
+	for i, v := range got {
+		if v < prev {
+			t.Fatalf("arrival clock decreased at job %d", i)
+		}
+		sum += v - prev
+		prev = v
+	}
+	mean := float64(sum) / 512
+	if mean < 800 || mean > 1200 {
+		t.Errorf("poisson mean gap = %.1f, want ≈1000", mean)
+	}
+	if !reflect.DeepEqual(got, expand(t, a, 512, 1)) {
+		t.Error("poisson arrivals not deterministic")
+	}
+	if reflect.DeepEqual(got, expand(t, Arrivals{Kind: ArriveUniform, MeanGap: 1000}, 512, 1)) {
+		t.Error("poisson arrivals identical to uniform jitter")
+	}
+}
+
+func TestArrivalTrace(t *testing.T) {
+	times := []uint64{0, 5, 5, 100}
+	got := expand(t, Arrivals{Kind: ArriveTrace, Times: times}, 4, 1)
+	if !reflect.DeepEqual(got, times) {
+		t.Errorf("trace arrivals = %v, want %v", got, times)
+	}
+	// A longer trace covers a shorter job list.
+	if got := expand(t, Arrivals{Kind: ArriveTrace, Times: times}, 2, 1); !reflect.DeepEqual(got, times[:2]) {
+		t.Errorf("truncated trace arrivals = %v", got)
+	}
+	if _, err := (Arrivals{Kind: ArriveTrace, Times: times}).times(5, 1); err == nil {
+		t.Error("short trace accepted")
+	}
+	if _, err := (Arrivals{Kind: ArriveTrace, Times: []uint64{5, 4}}).times(2, 1); err == nil {
+		t.Error("decreasing trace accepted")
 	}
 }
 
@@ -184,7 +241,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		tr, err := Run(Config{
 			Nodes: 3, StoreSlots: 1, Seed: 9, Workers: workers,
 			Policy: Affinity(), Arrivals: Arrivals{MeanGap: 500},
-		}, jobs, func(i int, seed int64) (Exec, error) {
+		}, jobs, func(i, _ int, seed int64) (Exec, error) {
 			// Service time depends on the derived seed, so this also
 			// checks that seeds are independent of worker count.
 			return Exec{Cycles: 100 + uint64(seed)%1000}, nil
@@ -225,7 +282,7 @@ func TestRunTimeline(t *testing.T) {
 func TestRunnerErrorPropagates(t *testing.T) {
 	sentinel := errors.New("session exploded")
 	_, err := Run(Config{Nodes: 2, Seed: 1}, altJobs(8),
-		func(i int, _ int64) (Exec, error) {
+		func(i, _ int, _ int64) (Exec, error) {
 			if i == 3 {
 				return Exec{}, sentinel
 			}
@@ -270,13 +327,235 @@ func TestParsePlacement(t *testing.T) {
 
 func TestArrivalGapClamped(t *testing.T) {
 	// A maximal gap must neither panic (MeanGap+1 overflow) nor wrap the
-	// arrival clock for a handful of jobs.
-	got := Arrivals{MeanGap: ^uint64(0)}.times(8, 1)
-	prev := uint64(0)
-	for i, v := range got {
-		if v < prev {
-			t.Fatalf("arrival clock wrapped at job %d: %d < %d", i, v, prev)
+	// arrival clock for a handful of jobs, in either open-loop process.
+	for _, kind := range []ArrivalKind{ArriveUniform, ArrivePoisson} {
+		got := expand(t, Arrivals{Kind: kind, MeanGap: ^uint64(0)}, 8, 1)
+		prev := uint64(0)
+		for i, v := range got {
+			if v < prev {
+				t.Fatalf("kind %d: arrival clock wrapped at job %d: %d < %d", kind, i, v, prev)
+			}
+			prev = v
 		}
-		prev = v
 	}
+}
+
+// hetero builds a 2-node, 2-class fleet: node 0 is the reference
+// workstation, node 1 runs class 1 at double clock.
+func heteroConfig() Config {
+	return Config{
+		NodeConfigs: []NodeConfig{
+			{Class: 0},
+			{Class: 1, ClockScale: 2},
+		},
+		Classes: 2,
+		Seed:    1,
+	}
+}
+
+// classRunner gives class c executions c+1 times the base cycle count,
+// so tests can tell which profile a node charged.
+func classRunner(base uint64) Runner {
+	return func(i, class int, _ int64) (Exec, error) {
+		return Exec{Cycles: base * uint64(class+1)}, nil
+	}
+}
+
+func TestHeterogeneousClassesAndClock(t *testing.T) {
+	jobs := altJobs(2)
+	tr, err := Run(heteroConfig(), jobs, classRunner(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin: job 0 on node 0 (class 0, clock 1 → 1000 cycles),
+	// job 1 on node 1 (class 1 profile 2000 cycles, clock 2 → 1000).
+	if got := tr.Jobs[0].Cycles; got != 1000 {
+		t.Errorf("node 0 service = %d, want 1000", got)
+	}
+	if got := tr.Jobs[1].Cycles; got != 1000 {
+		t.Errorf("node 1 service = %d, want 2000/2 = 1000", got)
+	}
+	if tr.Nodes[1].Class != 1 || tr.Nodes[1].ClockScale != 2 {
+		t.Errorf("node trace lost its configuration: %+v", tr.Nodes[1])
+	}
+	// Odd service must round up, never truncate to free cycles.
+	tr, err = Run(heteroConfig(), jobs, classRunner(1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Jobs[1].Cycles; got != 1001 {
+		t.Errorf("ceil division lost cycles: %d, want 1001", got)
+	}
+}
+
+func TestExecuteClassSeedsMatchHomogeneous(t *testing.T) {
+	// The per-job derived seed must not depend on the class, so a
+	// heterogeneous run stays comparable with the homogeneous one.
+	jobs := altJobs(4)
+	var homoSeeds, heteroSeeds [4]int64
+	if _, err := Execute(Config{Nodes: 2, Seed: 7}, jobs, func(i, _ int, seed int64) (Exec, error) {
+		homoSeeds[i] = seed
+		return Exec{Cycles: 1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := heteroConfig()
+	cfg.Seed = 7
+	cfg.Workers = 1
+	if _, err := Execute(cfg, jobs, func(i, class int, seed int64) (Exec, error) {
+		if class == 0 {
+			heteroSeeds[i] = seed
+		} else if heteroSeeds[i] != seed {
+			t.Errorf("job %d: class 1 seed %d != class 0 seed %d", i, seed, heteroSeeds[i])
+		}
+		return Exec{Cycles: 1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if homoSeeds != heteroSeeds {
+		t.Errorf("per-job seeds drifted between class layouts: %v vs %v", homoSeeds, heteroSeeds)
+	}
+}
+
+func TestAdmissionShed(t *testing.T) {
+	// One node, bound 2, batch arrivals: the first two jobs are admitted,
+	// the rest shed.
+	jobs := altJobs(5)
+	tr, err := Run(Config{Nodes: 1, Seed: 1, Admission: Admission{Bound: 2}},
+		jobs, fixedRunner(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Shed != 3 {
+		t.Fatalf("shed = %d, want 3: %+v", tr.Shed, tr.Jobs)
+	}
+	for _, jt := range tr.Jobs[2:] {
+		if !jt.Shed || jt.Node != -1 || jt.Completion != 0 {
+			t.Errorf("job %d not recorded as shed: %+v", jt.ID, jt)
+		}
+	}
+	if tr.Nodes[0].Jobs != 2 {
+		t.Errorf("node ran %d jobs, want 2", tr.Nodes[0].Jobs)
+	}
+	// The shed jobs charge nothing: makespan covers only admitted work.
+	if want := tr.Jobs[1].Completion; tr.Makespan != want {
+		t.Errorf("makespan = %d, want %d", tr.Makespan, want)
+	}
+}
+
+func TestAdmissionDefer(t *testing.T) {
+	// One node, bound 1, defer: jobs serialize, each waiting for the
+	// previous completion, and nothing is shed.
+	jobs := altJobs(3)
+	tr, err := Run(Config{Nodes: 1, Seed: 1, Admission: Admission{Bound: 1, Defer: true}},
+		jobs, fixedRunner(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Shed != 0 || tr.Deferred != 2 {
+		t.Fatalf("shed=%d deferred=%d, want 0/2", tr.Shed, tr.Deferred)
+	}
+	for i := 1; i < 3; i++ {
+		if tr.Jobs[i].Start != tr.Jobs[i-1].Completion {
+			t.Errorf("job %d started at %d, want at previous completion %d",
+				i, tr.Jobs[i].Start, tr.Jobs[i-1].Completion)
+		}
+		if !tr.Jobs[i].Deferred || tr.Jobs[i].DeferCycles == 0 {
+			t.Errorf("job %d defer not recorded: %+v", i, tr.Jobs[i])
+		}
+	}
+	if tr.DeferCycles != tr.Jobs[1].DeferCycles+tr.Jobs[2].DeferCycles {
+		t.Errorf("defer cycle sum wrong: %d", tr.DeferCycles)
+	}
+}
+
+func TestAdmissionDeferRebalances(t *testing.T) {
+	// Two nodes, bound 1, round-robin wants node i%2 — but when the
+	// chosen node is full the deferral must re-place onto whichever node
+	// frees first rather than shed.
+	jobs := altJobs(6)
+	tr, err := Run(Config{Nodes: 2, Seed: 1, Admission: Admission{Bound: 1, Defer: true}},
+		jobs, fixedRunner(100, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Shed != 0 {
+		t.Fatalf("defer mode shed %d jobs", tr.Shed)
+	}
+	for _, jt := range tr.Jobs {
+		if jt.Node < 0 {
+			t.Fatalf("job %d unplaced: %+v", jt.ID, jt)
+		}
+	}
+	// With unequal service times, strict round-robin would idle behind the
+	// slow node; the fall-back to whichever node freed first must move at
+	// least one job off its round-robin slot.
+	diverged := false
+	for _, jt := range tr.Jobs {
+		if jt.Node != jt.ID%2 {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("defer re-placement never diverged from strict round-robin")
+	}
+}
+
+func TestWeightedAffinityHugeWeightSaturates(t *testing.T) {
+	// A pathological spec weight (2^63) times 2 affinity hits wraps
+	// uint64; the score must saturate instead, so the doubly-warm node
+	// still outranks a cold one. Four identical 2-circuit jobs must all
+	// pin to the node that warmed up first.
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Label: "J", Circuits: []Circuit{
+			{Key: key(1), Bytes: 100},
+			{Key: key(2), Bytes: 100},
+		}}
+	}
+	tr, err := Run(Config{Nodes: 2, StoreSlots: 2, Seed: 1, Policy: WeightedAffinity(1 << 63)},
+		jobs, fixedRunner(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jt := range tr.Jobs {
+		if jt.Node != 0 {
+			t.Errorf("job %d diverted to node %d: saturating score lost to a cold node", jt.ID, jt.Node)
+		}
+	}
+	if tr.ColdLoads != 2 {
+		t.Errorf("cold loads = %d, want 2 (both circuits fetched once)", tr.ColdLoads)
+	}
+}
+
+func TestWeightedAffinityBalancesKindsAcrossSpareNodes(t *testing.T) {
+	// 2 kinds over 3 nodes with batch arrivals: pure affinity pins each
+	// kind to one node and never uses node 2; the weighted hybrid spreads
+	// once the backlog difference exceeds the weight, while still beating
+	// round-robin's cold-load churn.
+	jobs := altJobs(12)
+	service := uint64(10_000)
+	run := func(pol PlacementPolicy) *Trace {
+		tr, err := Run(Config{Nodes: 3, StoreSlots: 1, Seed: 1, Policy: pol},
+			jobs, fixedRunner(service))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	aff := run(Affinity())
+	rr := run(RoundRobin())
+	wa := run(WeightedAffinity(service * 2))
+	if aff.Nodes[2].Jobs != 0 {
+		t.Fatalf("premise broken: pure affinity used the spare node (%d jobs)", aff.Nodes[2].Jobs)
+	}
+	if wa.Makespan >= aff.Makespan {
+		t.Errorf("weighted makespan %d not below pure affinity %d", wa.Makespan, aff.Makespan)
+	}
+	if wa.ColdLoads >= rr.ColdLoads {
+		t.Errorf("weighted cold loads %d not below round-robin %d", wa.ColdLoads, rr.ColdLoads)
+	}
+	t.Logf("makespan rr=%d aff=%d weighted=%d; cold loads rr=%d aff=%d weighted=%d",
+		rr.Makespan, aff.Makespan, wa.Makespan, rr.ColdLoads, aff.ColdLoads, wa.ColdLoads)
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -84,13 +85,74 @@ func (affinity) Place(f *Fleet, job *Job) int {
 	return best
 }
 
+// DefaultAffinityWeight is the WeightedAffinity weight used when a spec
+// leaves it 0: the order of one short job's service time at the scales
+// the tests and examples run at, so locality wins on a slack fleet and
+// backlog wins under load. Tune it per scenario through
+// PlacementSpec.Weight — the right value tracks what one avoided cold
+// fetch is worth against a cycle of queueing.
+const DefaultAffinityWeight = 100_000
+
+// WeightedAffinity is the locality-vs-balance hybrid: it scores every
+// node as weight·affinityHits − backlog and places on the maximum
+// (ties toward the lowest index). Pure affinity can idle a node forever
+// on a k-kind mix over n > k nodes — only k nodes ever warm up — while
+// round-robin ignores locality entirely; the weighted score spreads work
+// exactly when the backlog difference exceeds what the warm circuits are
+// worth. weight is in cycles per affinity hit; 0 means
+// DefaultAffinityWeight.
+func WeightedAffinity(weight uint64) PlacementPolicy {
+	if weight == 0 {
+		weight = DefaultAffinityWeight
+	}
+	return weightedAffinity{weight: weight}
+}
+
+type weightedAffinity struct{ weight uint64 }
+
+func (weightedAffinity) Name() string { return "weighted-affinity" }
+
+// Weight exposes the tunable for scenario snapshots (Cluster.Scenario).
+func (w weightedAffinity) Weight() uint64 { return w.weight }
+
+func (w weightedAffinity) Place(f *Fleet, job *Job) int {
+	best := 0
+	bestScore := w.score(f, job, 0)
+	for n := 1; n < f.NumNodes(); n++ {
+		if s := w.score(f, job, n); s > bestScore {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// score is weight·hits − backlog as a saturating signed value: the
+// hits·weight product goes through a 64×64→128-bit multiply so a
+// pathological spec-supplied weight saturates instead of wrapping (a
+// wrap would rank a better-locality node below a worse one), and
+// backlogs are clamped symmetrically.
+func (w weightedAffinity) score(f *Fleet, job *Job, n int) int64 {
+	const maxInt64 = int64(^uint64(0) >> 1)
+	hi, gain := bits.Mul64(uint64(f.AffinityHits(n, job)), w.weight)
+	score := maxInt64
+	if hi == 0 && gain < uint64(maxInt64) {
+		score = int64(gain)
+	}
+	backlog := f.Backlog(n)
+	if backlog > uint64(maxInt64) {
+		backlog = uint64(maxInt64)
+	}
+	return score - int64(backlog)
+}
+
 // Policies lists the built-in placement policies, in sweep order.
 func Policies() []PlacementPolicy {
 	return []PlacementPolicy{RoundRobin(), Random(), LeastLoaded(), Affinity()}
 }
 
 // ParsePlacement resolves a policy by name; it accepts each policy's
-// Name() plus the short command-line spellings "rr", "ll" and "affinity".
+// Name() plus the short command-line spellings "rr", "ll", "affinity"
+// and "wa" (weighted-affinity at DefaultAffinityWeight).
 func ParsePlacement(s string) (PlacementPolicy, error) {
 	switch strings.ToLower(s) {
 	case "rr", "round-robin", "roundrobin":
@@ -101,6 +163,8 @@ func ParsePlacement(s string) (PlacementPolicy, error) {
 		return LeastLoaded(), nil
 	case "affinity", "config-affinity":
 		return Affinity(), nil
+	case "wa", "weighted-affinity", "weightedaffinity":
+		return WeightedAffinity(0), nil
 	}
-	return nil, fmt.Errorf("cluster: unknown placement policy %q (want rr, random, least-loaded or affinity)", s)
+	return nil, fmt.Errorf("cluster: unknown placement policy %q (want rr, random, least-loaded, affinity or weighted-affinity)", s)
 }

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"protean"
+	"protean/internal/workload"
+)
+
+// F2 admission sweep axes: the per-node queue bound (0 = unbounded) and
+// the open-loop Poisson arrival intensity, as multiples of the scaled
+// 10 ms quantum (smaller factor = tighter arrivals = heavier overload).
+var (
+	admissionBounds     = []int{0, 3, 2, 1}
+	admissionGapFactors = []int{8, 4, 2, 1}
+)
+
+// admissionJobs is the F2 job-stream length: the paper rotation, long
+// enough that bounded queues visibly shed under the tighter gaps.
+const admissionJobs = 16
+
+// admissionScenario declares one F2 cell: a 4-node fleet with tight
+// stores fed by Poisson arrivals, a per-node queue bound with the shed
+// policy, and the standard rotation — entirely as a Scenario spec, so
+// the sweep exercises the declarative path end to end.
+func (sw Sweeper) admissionScenario(gapFactor, bound int) protean.Scenario {
+	sc := protean.Scenario{
+		// Seed depends only on the arrival axis, so the bound series are
+		// paired: identical arrivals and job seeds, different valves.
+		Seed:    sw.CellSeed(uint64(gapFactor)),
+		Workers: 1, // cells already occupy the sweep pool
+		Nodes: []protean.NodeSpec{{
+			Count:      4,
+			StoreSlots: 2,
+			Session: protean.SessionSpec{
+				Scale:   sw.Scale.Factor,
+				Quantum: sw.Scale.Quantum(Quantum1ms),
+			},
+		}},
+		Arrivals: protean.ArrivalSpec{
+			Process: protean.ArrivalPoisson,
+			MeanGap: uint64(gapFactor) * uint64(sw.Scale.Quantum(Quantum10ms)) * 4,
+		},
+		Placement: protean.PlacementSpec{Policy: "least-loaded"},
+	}
+	if bound > 0 {
+		sc.Admission = protean.AdmissionSpec{Bound: bound, Policy: protean.AdmissionShed}
+	}
+	for i := 0; i < admissionJobs; i++ {
+		kind := placementRotation[i%len(placementRotation)]
+		sc.Jobs = append(sc.Jobs, protean.JobSpec{
+			Workload:  workloadName(kind, workload.ModeHWOnly),
+			Instances: 2,
+		})
+	}
+	return sc
+}
+
+// AdmissionSweep (F2) sweeps admission bound × Poisson arrival rate over
+// the standard rotation and reports two figures: P95 sojourn latency of
+// the admitted jobs and the shed-job count. It is the ROADMAP's
+// admission-control item made measurable — under overload a bounded
+// queue trades completed work for tail latency, and the sweep shows
+// exactly where that trade bites.
+func (sw Sweeper) AdmissionSweep() (tail, shed *Figure, err error) {
+	type cellOut struct {
+		p95  uint64
+		shed int
+	}
+	var cells []func() (cellOut, error)
+	for _, bound := range admissionBounds {
+		for _, gf := range admissionGapFactors {
+			cells = append(cells, func() (cellOut, error) {
+				sc := sw.admissionScenario(gf, bound)
+				fr, err := protean.RunScenario(context.Background(), sc)
+				if err != nil {
+					return cellOut{}, fmt.Errorf("F2 bound=%d gap=%dx: %w", bound, gf, err)
+				}
+				if err := fr.Err(); err != nil {
+					return cellOut{}, fmt.Errorf("F2 bound=%d gap=%dx: %w", bound, gf, err)
+				}
+				sw.emit(fmt.Sprintf("F2 bound=%d gap=%dx", bound, gf), fr.Latency.P95,
+					"F2 bound=%-2d gap=%dx  p95=%-12d shed=%d/%d deferred=%d",
+					bound, gf, fr.Latency.P95, fr.Shed, len(fr.Jobs), fr.Deferred)
+				return cellOut{p95: fr.Latency.P95, shed: fr.Shed}, nil
+			})
+		}
+	}
+	outs, err := Sweep(sw.Workers, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	tail = &Figure{
+		Title:  "F2: P95 sojourn latency vs arrival rate x admission bound",
+		XLabel: "Mean arrival gap (x4 10ms quanta; smaller = heavier load)",
+		YLabel: "P95 job sojourn latency in clock cycles",
+	}
+	shed = &Figure{
+		Title:  "F2: shed jobs vs arrival rate x admission bound",
+		XLabel: "Mean arrival gap (x4 10ms quanta; smaller = heavier load)",
+		YLabel: fmt.Sprintf("Jobs shed of %d", admissionJobs),
+	}
+	for bi, bound := range admissionBounds {
+		label := fmt.Sprintf("bound=%d", bound)
+		if bound == 0 {
+			label = "unbounded"
+		}
+		ts := Series{Label: label}
+		ss := Series{Label: label}
+		for gi, gf := range admissionGapFactors {
+			out := outs[bi*len(admissionGapFactors)+gi]
+			ts.X = append(ts.X, gf)
+			ts.Y = append(ts.Y, out.p95)
+			ss.X = append(ss.X, gf)
+			ss.Y = append(ss.Y, uint64(out.shed))
+		}
+		tail.Series = append(tail.Series, ts)
+		shed.Series = append(shed.Series, ss)
+	}
+	return tail, shed, nil
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestAdmissionSweep runs F2 at a fast scale and checks the claims the
+// figure exists to show: an unbounded fleet sheds nothing and its tail
+// grows as arrivals tighten; a 1-deep bound sheds under overload and
+// trims the admitted jobs' tail below the unbounded fleet's.
+func TestAdmissionSweep(t *testing.T) {
+	sw := Sweeper{Scale: Scale{Factor: 800}, Seed: 1}
+	tail, shed, err := sw.AdmissionSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Series) != len(admissionBounds) || len(shed.Series) != len(admissionBounds) {
+		t.Fatalf("series: tail=%d shed=%d, want %d", len(tail.Series), len(shed.Series), len(admissionBounds))
+	}
+	// Series are indexed like admissionBounds = [0, 3, 2, 1]; gap factors
+	// run [8, 4, 2, 1], so the last X is the heaviest load.
+	unboundedTail, unboundedShed := tail.Series[0], shed.Series[0]
+	boundedTail, boundedShed := tail.Series[3], shed.Series[3]
+	last := len(admissionGapFactors) - 1
+
+	for i, y := range unboundedShed.Y {
+		if y != 0 {
+			t.Errorf("unbounded fleet shed %d jobs at gap %dx", y, unboundedShed.X[i])
+		}
+	}
+	if unboundedTail.Y[last] <= unboundedTail.Y[0] {
+		t.Errorf("unbounded P95 did not grow with load: %d at %dx vs %d at %dx",
+			unboundedTail.Y[0], unboundedTail.X[0], unboundedTail.Y[last], unboundedTail.X[last])
+	}
+	if boundedShed.Y[last] == 0 {
+		t.Error("bound=1 shed nothing under the heaviest load")
+	}
+	if boundedTail.Y[last] >= unboundedTail.Y[last] {
+		t.Errorf("bound=1 P95 %d not below unbounded %d under the heaviest load",
+			boundedTail.Y[last], unboundedTail.Y[last])
+	}
+	// Tighter bounds shed at least as much as looser ones, gap by gap.
+	for gi := range admissionGapFactors {
+		prev := uint64(0)
+		for bi := 1; bi < len(admissionBounds); bi++ { // bounds 3, 2, 1
+			y := shed.Series[bi].Y[gi]
+			if y < prev {
+				t.Errorf("shed not monotone in bound at gap %dx: bound=%d shed %d after %d",
+					admissionGapFactors[gi], admissionBounds[bi], y, prev)
+			}
+			prev = y
+		}
+	}
+	t.Logf("unbounded P95 %v; bound=1 P95 %v; bound=1 shed %v",
+		unboundedTail.Y, boundedTail.Y, boundedShed.Y)
+}

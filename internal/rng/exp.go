@@ -1,0 +1,40 @@
+package rng
+
+import "math/bits"
+
+// Exp returns a pseudorandom, exponentially distributed gap with the given
+// mean, in integer arithmetic only — von Neumann's uniform-comparison
+// method (1951), so the result is bit-reproducible on every platform
+// (no math.Log, no float rounding to vary by architecture or FMA
+// contraction).
+//
+// The algorithm samples X ~ Exp(1) as l + F, where l counts rejected
+// rounds and F is the first uniform of the accepting round: a round draws
+// a strictly decreasing run of uniforms W1 > W2 > ... and accepts when the
+// run length is odd (the alternating-series expansion of e^-x). The gap is
+// then floor(mean·l + mean·F), with the fractional product taken through a
+// 64×64→128-bit multiply.
+//
+// The open-loop Poisson arrival process draws its inter-arrival gaps from
+// Exp; mean is capped by callers (cluster.MaxMeanGap = 2^48), so the
+// l·mean term cannot overflow for any reachable l (P(l ≥ 2^15) < e^-32768).
+func (s *Stream) Exp(mean uint64) uint64 {
+	var l uint64
+	for {
+		w1 := s.Next()
+		prev, n := w1, 1
+		for {
+			u := s.Next()
+			if u >= prev {
+				break
+			}
+			prev = u
+			n++
+		}
+		if n%2 == 1 {
+			hi, _ := bits.Mul64(mean, w1)
+			return l*mean + hi
+		}
+		l++
+	}
+}

@@ -6,6 +6,12 @@ import (
 )
 
 // Option configures a Session at construction time.
+//
+// Options are the imperative sugar over the declarative Scenario spec:
+// every modeled option corresponds to a SessionSpec field, and a Session
+// is a fleet of one (see Start). New code that wants a portable,
+// serializable description of a run should declare a Scenario instead of
+// wiring options; the option constructors remain fully supported.
 type Option func(*config) error
 
 type config struct {
@@ -23,6 +29,7 @@ type config struct {
 	atomicCDP    bool
 	maxFaults    uint64
 	tlb1         int
+	pfus         int
 	budget       uint64
 	sink         Sink
 	disasmW      io.Writer
@@ -159,6 +166,20 @@ func WithTLB1Entries(n int) Option {
 			return fmt.Errorf("protean: TLB1 entries must be >= 0, got %d", n)
 		}
 		c.tlb1 = n
+		return nil
+	}
+}
+
+// WithPFUs overrides the number of programmable function units on the
+// reconfigurable array (0 = the ProteanARM's 4). Fewer PFUs force more
+// circuit swapping for the same mix — the knob heterogeneous fleet
+// scenarios use to model big and small workstations side by side.
+func WithPFUs(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("protean: PFU count must be >= 0, got %d", n)
+		}
+		c.pfus = n
 		return nil
 	}
 }

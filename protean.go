@@ -4,11 +4,20 @@
 // sessions of the POrSCHE kernel managing applications that use custom
 // instructions on a reconfigurable functional unit.
 //
-// A Session is a machine plus a booted kernel. Configure it with
-// functional options, populate it from the named-workload registry (the
-// paper's alpha-blend, twofish and echo applications are built in, and
-// heterogeneous mixes are just repeated Spawn calls), or load custom
-// programs with SpawnProgram, then Run it under a context:
+// The primary surface is declarative: a Scenario is one JSON-serializable
+// value describing an entire run — a fleet of (possibly heterogeneous)
+// workstations, an arrival process, admission control, a placement
+// policy and the job list — and Start(ctx, scenario) executes it:
+//
+//	sc, _ := protean.LoadScenario(specJSON)
+//	fr, err := protean.RunScenario(ctx, sc) // Start + Wait
+//
+// A Session is the imperative fleet-of-one spelling of the same thing: a
+// machine plus a booted kernel, configured with functional options,
+// populated from the named-workload registry (the paper's alpha-blend,
+// twofish and echo applications are built in, and heterogeneous mixes
+// are just repeated Spawn calls) or with custom programs via
+// SpawnProgram, then Run under a context:
 //
 //	s, _ := protean.New(protean.WithQuantum(protean.Quantum1ms),
 //	    protean.WithPolicy(protean.PolicyRandom))
@@ -19,7 +28,9 @@
 // Run is cancellable through the context and returns a structured Result:
 // per-process completions, CIS / kernel / RFU statistics and console
 // output, with Result.Err verifying every built-in workload's checksum
-// against its Go model.
+// against its Go model. The option constructors (and NewCluster's) are
+// retained as compatible sugar over the Scenario spec; new code that
+// wants portable, reloadable run descriptions should declare a Scenario.
 package protean
 
 import (
@@ -92,7 +103,7 @@ func New(opts ...Option) (*Session, error) {
 
 	m := machine.New(machine.Config{
 		ConfigBytesPerCycle: c.scale.ConfigBytesPerCycle(),
-		RFU:                 core.Config{TLB1Entries: c.tlb1},
+		RFU:                 core.Config{PFUs: c.pfus, TLB1Entries: c.tlb1},
 	})
 	var tl *trace.Log
 	if c.traceCap > 0 {

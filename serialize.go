@@ -1,11 +1,45 @@
 package protean
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 )
+
+// MarshalJSON serializes the scenario after validating it, so a spec that
+// marshals is a spec that runs: an invalid scenario (zero nodes, unknown
+// placement policy or workload, negative queue bound, ...) fails here
+// instead of round-tripping into a broken file.
+func (sc Scenario) MarshalJSON() ([]byte, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	type plain Scenario // drop the method set to avoid recursion
+	return json.Marshal(plain(sc))
+}
+
+// LoadScenario parses a JSON scenario spec — the format Scenario
+// marshals to — rejecting unknown fields and validating the result, so
+// a loaded spec is ready for Start. The inverse property
+// LoadScenario(MarshalJSON(sc)) == sc is pinned by the golden-file
+// tests.
+func LoadScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("protean: parse scenario: %w", err)
+	}
+	if dec.More() {
+		return Scenario{}, fmt.Errorf("protean: parse scenario: trailing content after the spec object")
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
 
 // Table is a rectangular dataset — a header plus rows — with one CSV
 // serialization path shared by everything that exports tabular data: the
