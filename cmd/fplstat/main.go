@@ -3,6 +3,13 @@
 // before and after optimisation, placement utilisation, wirelength and the
 // size of the two configuration sections (§4.1's full image vs state
 // frames).
+//
+// With -lint the tool additionally runs the fabric netlist linter
+// (fabric.Lint and fabric.LintConfig) over every optimised circuit and
+// its placed configuration, prints any findings, and exits nonzero if a
+// circuit is not clean. CI runs fplstat -lint to keep the stock library
+// free of dead logic, constant LUTs, unused flip-flops, floating inputs
+// and combinational cycles.
 package main
 
 import (
@@ -16,7 +23,12 @@ import (
 func main() {
 	w := flag.Int("w", fabric.DefaultPFUSpec.W, "array width in CLBs")
 	h := flag.Int("h", fabric.DefaultPFUSpec.H, "array height in CLBs")
+	lint := flag.Bool("lint", false, "lint every circuit and placed configuration; exit nonzero on findings")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fplstat: unexpected argument %q (the tool takes flags only)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	spec := fabric.ArraySpec{W: *w, H: *h}
 
 	circuits := []struct {
@@ -39,6 +51,7 @@ func main() {
 		spec.W, spec.H, spec.CLBs(), fabric.StaticBytes(spec), fabric.StateBytes(spec))
 	fmt.Printf("%-12s %8s %8s %8s %6s %6s %7s %10s %6s\n",
 		"circuit", "luts", "luts-opt", "ffs", "depth", "cells", "util%", "wirelength", "maxw")
+	findings := 0
 	for _, c := range circuits {
 		n := c.mk()
 		before := n.Stats()
@@ -63,5 +76,37 @@ func main() {
 		fmt.Printf("%-12s %8d %8d %8d %6d %6d %6.1f%% %10d %6d\n",
 			c.name, before.LUTs, after.LUTs, after.FFs, after.Depth,
 			stats.Cells, stats.Utilization*100, stats.Wirelength, stats.MaxWire)
+		if *lint {
+			findings += lintCircuit(c.name, n, cfg)
+		}
 	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fplstat: lint found %d issue(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintCircuit lints one optimised netlist and its placed configuration,
+// printing every finding, and returns the finding count.
+func lintCircuit(name string, n *fabric.Netlist, cfg *fabric.ArrayConfig) int {
+	found := 0
+	r, err := fabric.Lint(n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplstat: lint %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	for _, d := range r.Diags {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: netlist: %s: %s\n", name, d.Kind, d.Msg)
+		found++
+	}
+	rc, err := fabric.LintConfig(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplstat: lint %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	for _, d := range rc.Diags {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: config: %s: %s\n", name, d.Kind, d.Msg)
+		found++
+	}
+	return found
 }

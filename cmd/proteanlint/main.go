@@ -1,0 +1,205 @@
+// Command proteanlint runs the repo's custom static analyzers
+// (determinism, seedflow, sinksafe — see internal/lint) over Go
+// packages. Two modes:
+//
+//	proteanlint [packages]         # standalone, defaults to ./...
+//	go vet -vettool=$(which proteanlint) ./...
+//
+// Standalone mode loads packages itself (internal/lint/load) and exits
+// 1 if any diagnostic was reported. As a vettool it speaks the cmd/go
+// unitchecker protocol: -V=full prints a version fingerprint for the
+// build cache, and a trailing *.cfg argument carries one package's
+// type-checking configuration; diagnostics go to stderr with exit
+// status 2, matching go vet's conventions.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"protean/internal/lint"
+	"protean/internal/lint/analysis"
+	"protean/internal/lint/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go probes vettools with -V=full before first use and caches
+	// results keyed on the reply; any stable line satisfies it.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("proteanlint version v1\n")
+		return
+	}
+	// cmd/go asks a vettool which analyzer flags it accepts; none here.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// diag is one rendered finding.
+type diag struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+// runAnalyzers applies every analyzer to one package, appending
+// findings to out.
+func runAnalyzers(pkg *load.Package, out *[]diag) error {
+	for _, a := range lint.Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			*out = append(*out, diag{pos: pkg.Fset.Position(d.Pos), analyzer: name, message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return nil
+}
+
+// print renders findings sorted by position.
+func print(w io.Writer, diags []diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", d.pos, d.analyzer, d.message)
+	}
+}
+
+// standalone loads the pattern-matched packages and lints them.
+func standalone(patterns []string) int {
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteanlint:", err)
+		return 1
+	}
+	var diags []diag
+	for _, pkg := range pkgs {
+		if err := runAnalyzers(pkg, &diags); err != nil {
+			fmt.Fprintln(os.Stderr, "proteanlint:", err)
+			return 1
+		}
+	}
+	if len(diags) > 0 {
+		print(os.Stderr, diags)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's unitchecker *.cfg payload the
+// tool needs to type-check one package.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	VetxOnly                  bool
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs one go vet unit of work.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proteanlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "proteanlint: parse cfg:", err)
+		return 1
+	}
+	// cmd/go requires the facts file to exist even though these
+	// analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("proteanlint"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "proteanlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return typecheckFailed(cfg, err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(cfg, err)
+	}
+
+	pkg := &load.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	var diags []diag
+	if err := runAnalyzers(pkg, &diags); err != nil {
+		fmt.Fprintln(os.Stderr, "proteanlint:", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		print(os.Stderr, diags)
+		return 2
+	}
+	return 0
+}
+
+// typecheckFailed honours SucceedOnTypecheckFailure: go vet sets it for
+// packages whose compile already reported the error.
+func typecheckFailed(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "proteanlint: typecheck %s: %v\n", cfg.ImportPath, err)
+	return 1
+}

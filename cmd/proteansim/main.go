@@ -7,7 +7,13 @@
 //
 //	proteansim -app alpha|twofish|echo|mix -n 4 [-quantum cycles]
 //	           [-policy rr|random|lru|2chance] [-soft] [-sharing]
-//	           [-items N] [-scale N] [-trace] [-progress]
+//	           [-items N] [-scale N] [-trace] [-progress] [-lint]
+//
+// -lint lints every circuit image the spawned programs register (dead
+// logic, constant LUTs, unused flip-flops, floating inputs — see
+// fabric.LintConfig) and prints the findings to stderr at spawn time; it
+// composes with -app and -scenario. Only gate-level bitstream images
+// carry a netlist to lint, so pair it with -gatelevel to see it bite.
 //
 // -app accepts any registered workload name (see -list), "mix" for one
 // instance of each paper application in rotation, or a comma-separated
@@ -63,6 +69,7 @@ func main() {
 	progress := flag.Bool("progress", false, "stream structured progress events to stderr")
 	gate := flag.Bool("gatelevel", false, "run the alpha circuit as its real placed bitstream on the fabric simulator (slow)")
 	disasmN := flag.Int("disasm", 0, "stream a disassembly of the first N executed instructions to stderr")
+	lintW := flag.Bool("lint", false, "lint circuit images at build time and print findings to stderr")
 	clusterMode := flag.Bool("cluster", false, "run a simulated fleet fed from a job queue instead of one session")
 	nodes := flag.Int("nodes", 4, "cluster: fleet size")
 	jobs := flag.Int("jobs", 8, "cluster: number of jobs (rotating through the -app list)")
@@ -71,6 +78,14 @@ func main() {
 	gap := flag.Uint64("gap", 0, "cluster: mean inter-arrival gap in cycles (0 = batch arrivals)")
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON file); only -progress applies alongside")
 	flag.Parse()
+
+	// A stray positional argument stops flag parsing, silently dropping
+	// every flag after it (`-cluster 3 -lint` never sees -lint); reject
+	// it rather than run a half-configured session.
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "proteansim: unexpected argument %q (the tool takes flags only)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(protean.Workloads(), "\n"))
@@ -81,10 +96,12 @@ func main() {
 		// The spec is the whole configuration: every explicitly set flag
 		// other than -scenario/-progress would be silently overridden, so
 		// reject them instead.
+		// -progress and -lint are runtime-only diagnostics, not
+		// configuration, so they compose with a spec.
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "progress":
+			case "scenario", "progress", "lint":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -92,17 +109,17 @@ func main() {
 		if len(conflicts) > 0 {
 			err = fmt.Errorf("-scenario takes the whole configuration from the spec file; drop %s", strings.Join(conflicts, ", "))
 		} else {
-			err = runScenario(*scenarioPath, *progress)
+			err = runScenario(*scenarioPath, *progress, *lintW)
 		}
 	} else if *clusterMode {
-		if *showTrace || *disasmN > 0 {
-			err = fmt.Errorf("-trace and -disasm are per-session debugging aids and are not supported with -cluster")
+		if *showTrace || *disasmN > 0 || *lintW {
+			err = fmt.Errorf("-trace, -disasm and -lint are per-session debugging aids and are not supported with -cluster; run the same fleet as a -scenario spec to lint it")
 		} else {
 			err = runCluster(*appName, *jobs, *n, *nodes, *placement, *slots, *gap,
 				uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *progress, *gate)
 		}
 	} else {
-		err = run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN)
+		err = run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN, *lintW)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proteansim:", err)
@@ -166,7 +183,7 @@ func runCluster(appName string, jobs, perJob, nodes int, placementName string, s
 // runScenario runs the -scenario mode: the whole fleet description —
 // nodes, arrivals, admission, placement, jobs — comes from one JSON
 // spec file.
-func runScenario(path string, progress bool) error {
+func runScenario(path string, progress, lint bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -178,6 +195,13 @@ func runScenario(path string, progress bool) error {
 	var opts []protean.StartOption
 	if progress {
 		opts = append(opts, protean.WithRunProgress(protean.WriterSink(os.Stderr)))
+	}
+	if lint {
+		// Lint every job session's circuit images; only the lint
+		// warnings flow through the per-session sink, so this composes
+		// with -progress (which watches the fleet, not the sessions).
+		opts = append(opts, protean.WithRunSessionOptions(
+			protean.WithLintWarnings(), protean.WithProgress(lintSink())))
 	}
 	fr, err := protean.RunScenario(context.Background(), sc, opts...)
 	if err != nil {
@@ -261,7 +285,17 @@ func parseApps(s string, gate bool) ([]string, error) {
 	return names, nil
 }
 
-func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, progress, gate bool, disasmN int) error {
+// lintSink prints lint-warning events — and nothing else — to stderr,
+// for -lint runs that did not also ask for full -progress streaming.
+func lintSink() protean.Sink {
+	return protean.SinkFunc(func(e protean.Event) {
+		if e.Kind == protean.EventLintWarning {
+			fmt.Fprintln(os.Stderr, e.Message)
+		}
+	})
+}
+
+func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, progress, gate bool, disasmN int, lint bool) error {
 	pol, err := protean.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -279,6 +313,14 @@ func run(appName string, n int, quantum uint32, policyName string, soft, sharing
 	}
 	if progress {
 		opts = append(opts, protean.WithProgress(protean.WriterSink(os.Stderr)))
+	}
+	if lint {
+		opts = append(opts, protean.WithLintWarnings())
+		if !progress {
+			// -progress already renders every event, lint warnings
+			// included; without it, route just the warnings to stderr.
+			opts = append(opts, protean.WithProgress(lintSink()))
+		}
 	}
 	if disasmN > 0 {
 		opts = append(opts, protean.WithDisasm(os.Stderr, disasmN))

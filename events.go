@@ -27,6 +27,10 @@ const (
 	// EventFleetDone fires when a cluster run has placed every job — once
 	// per replayed placement policy (exactly once for a plain Run).
 	EventFleetDone
+	// EventLintWarning fires once per static-analysis finding in a
+	// spawned program's circuit images when the session was built with
+	// WithLintWarnings — at spawn time, before the run starts.
+	EventLintWarning
 )
 
 func (k EventKind) String() string {
@@ -43,6 +47,8 @@ func (k EventKind) String() string {
 		return "job-done"
 	case EventFleetDone:
 		return "fleet-done"
+	case EventLintWarning:
+		return "lint-warning"
 	default:
 		return fmt.Sprintf("event%d", int(k))
 	}
@@ -97,7 +103,9 @@ type writerSink struct {
 }
 
 func (ws *writerSink) Event(e Event) {
-	ws.mu.Lock()
+	// The critical section is one formatted write; contention is bounded
+	// by line rendering, never by simulation work.
+	ws.mu.Lock() //lint:blocking short write-serialization section
 	defer ws.mu.Unlock()
 	msg := e.Message
 	if msg == "" {

@@ -1,0 +1,51 @@
+package protean_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"protean"
+)
+
+// FuzzLoadScenario fuzzes the scenario deserializer: arbitrary bytes
+// must never panic or hang LoadScenario (validation builds workload
+// templates, so the items cap is load-bearing here), and any spec it
+// accepts must round-trip — marshal, reload, re-marshal to identical
+// bytes. The committed corpus under testdata/fuzz/FuzzLoadScenario
+// replays as plain subtests on every ordinary `go test` run.
+func FuzzLoadScenario(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"nodes":[{}],"jobs":[{"workload":"echo","items":4}]}`))
+	f.Add([]byte(`{"nodes":[{"count":2,"session":{"scale":100,"policy":"lru","lint_warnings":true}},` +
+		`{"clock_scale":2,"store_slots":4,"session":{"scale":100,"pfus":2}}],` +
+		`"jobs":[{"workload":"alpha","items":64},{"workload":"twofish","items":8,"count":3}],` +
+		`"placement":{"policy":"affinity"}}`))
+	f.Add([]byte(`{"nodes":[{"session":{"scale":100}}],` +
+		`"jobs":[{"workload":"echo","items":16}],` +
+		`"arrivals":{"process":"poisson","mean_gap":5000},` +
+		`"admission":{"bound":2,"policy":"defer"},` +
+		`"placement":{"policy":"wa","weight":7},"seed":3,"workers":2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := protean.LoadScenario(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		saved, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		back, err := protean.LoadScenario(saved)
+		if err != nil {
+			t.Fatalf("saved spec does not reload: %v\nspec: %s", err, saved)
+		}
+		resaved, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("reloaded spec does not marshal: %v", err)
+		}
+		if !bytes.Equal(saved, resaved) {
+			t.Fatalf("round trip unstable:\n first: %s\nsecond: %s", saved, resaved)
+		}
+	})
+}

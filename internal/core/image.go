@@ -86,6 +86,10 @@ type Image struct {
 
 	// newInstance stamps out one execution model of the circuit.
 	newInstance func() (Model, error)
+
+	// lint, when non-nil, reports static-analysis findings for the
+	// loadable configuration; see Image.Lint.
+	lint func() []string
 }
 
 // Key returns the image's configuration-content identity (see ConfigKey).
@@ -142,6 +146,7 @@ func NewBitstreamImage(name string, bits []byte) (*Image, error) {
 		newInstance: func() (Model, error) {
 			return &fabricModel{inst: prog.NewInstance()}, nil
 		},
+		lint: func() []string { return lintBitstream(key, bits) },
 	}, nil
 }
 

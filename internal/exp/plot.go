@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -15,18 +16,13 @@ func (f *Figure) Dataset() *protean.Table {
 	for _, s := range f.Series {
 		t.Header = append(t.Header, s.Label)
 	}
-	// Collect the x domain.
-	xs := map[int]bool{}
-	for _, s := range f.Series {
-		for _, x := range s.X {
-			xs[x] = true
-		}
-	}
+	// Collect the x domain: sorted union of every series' x values.
 	var domain []int
-	for x := range xs {
-		domain = append(domain, x)
+	for _, s := range f.Series {
+		domain = append(domain, s.X...)
 	}
 	sort.Ints(domain)
+	domain = slices.Compact(domain)
 	for _, x := range domain {
 		row := []string{fmt.Sprint(x)}
 		for _, s := range f.Series {

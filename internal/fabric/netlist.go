@@ -298,18 +298,89 @@ func (n *Netlist) Levelize() ([]int, error) {
 	return order, nil
 }
 
-// Optimize performs constant folding and structural deduplication in place,
-// returning the number of LUTs removed. Ports are preserved: if a port net's
-// driver is folded away, a buffer LUT is kept.
+// Optimize performs constant folding, structural deduplication and
+// dead-logic elimination in place, returning the number of LUTs and
+// flip-flops removed. Ports are preserved: if a port net's driver is
+// folded away, a buffer LUT is kept.
 func Optimize(n *Netlist) int {
 	removed := 0
 	for {
 		r := optimizePass(n)
 		removed += r
 		if r == 0 {
-			return removed
+			break
 		}
 	}
+	// Sweep logic no output can observe. Folding and aliasing above can
+	// orphan drivers (a buffered port rewrites to the alias target,
+	// leaving the buffer's source chain unread), and source circuits
+	// carry genuinely dead cones; neither affects behaviour, so both go.
+	return removed + sweepDead(n)
+}
+
+// sweepDead removes every LUT and flip-flop whose value cannot reach an
+// output port, returning how many elements were dropped. Observable
+// behaviour is untouched: the kept set is the backward closure of the
+// output ports through LUT inputs and flip-flop D pins.
+func sweepDead(n *Netlist) int {
+	lutOf := make([]int32, n.NumNets)
+	ffOf := make([]int32, n.NumNets)
+	for i := range lutOf {
+		lutOf[i], ffOf[i] = -1, -1
+	}
+	for i := range n.LUTs {
+		lutOf[n.LUTs[i].Out] = int32(i)
+	}
+	for i := range n.FFs {
+		ffOf[n.FFs[i].Q] = int32(i)
+	}
+	live := make([]bool, n.NumNets)
+	var work []Net
+	mark := func(net Net) {
+		if net != NilNet && !live[net] {
+			live[net] = true
+			work = append(work, net)
+		}
+	}
+	for _, p := range n.Ports {
+		if p.Dir == DirOut {
+			for _, net := range p.Nets {
+				mark(net)
+			}
+		}
+	}
+	for len(work) > 0 {
+		net := work[len(work)-1]
+		work = work[:len(work)-1]
+		if li := lutOf[net]; li >= 0 {
+			for _, in := range n.LUTs[li].In {
+				mark(in)
+			}
+		}
+		if fi := ffOf[net]; fi >= 0 {
+			mark(n.FFs[fi].D)
+		}
+	}
+	removed := 0
+	keptLUTs := n.LUTs[:0]
+	for i := range n.LUTs {
+		if live[n.LUTs[i].Out] {
+			keptLUTs = append(keptLUTs, n.LUTs[i])
+		} else {
+			removed++
+		}
+	}
+	n.LUTs = keptLUTs
+	keptFFs := n.FFs[:0]
+	for i := range n.FFs {
+		if live[n.FFs[i].Q] {
+			keptFFs = append(keptFFs, n.FFs[i])
+		} else {
+			removed++
+		}
+	}
+	n.FFs = keptFFs
+	return removed
 }
 
 type lutKey struct {

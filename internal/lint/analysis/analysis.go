@@ -1,0 +1,54 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer runs over one
+// type-checked package (a Pass) and reports Diagnostics.
+//
+// The build environment for this module has no module proxy access, so
+// the x/tools dependency is gated behind this shim instead of being
+// added to go.mod. The shapes are kept intentionally identical to the
+// upstream API (Analyzer{Name, Doc, Run}, Pass{Fset, Files, Pkg,
+// TypesInfo, Report}, Diagnostic{Pos, Message}) so that, should the
+// dependency become available, the analyzers in internal/lint port to
+// the real framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the proteanlint
+	// command line.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the check to a single package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. It must be non-nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. Category names
+// the analyzer that produced it (filled by the driver).
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

@@ -1,0 +1,230 @@
+// Package atest is a minimal analysistest: it runs one analyzer over
+// packages rooted at testdata/src/<path> and checks the reported
+// diagnostics against `// want "regexp"` comments in the sources, the
+// same convention golang.org/x/tools/go/analysis/analysistest uses (the
+// dependency itself is unavailable offline; see internal/lint/analysis).
+//
+// Imports inside the testdata tree resolve to testdata source packages
+// first — so a test package may import a stub "protean/internal/rng" —
+// and to standard-library export data (via `go list -export`) otherwise.
+package atest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"protean/internal/lint/analysis"
+	"protean/internal/lint/load"
+)
+
+// Run applies the analyzer to each package path under testdata/src and
+// reports mismatches between diagnostics and // want comments on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		checkPackage(t, a, pkg)
+	}
+}
+
+// checkPackage runs the analyzer and diffs diagnostics against wants.
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkg.Path, err)
+	}
+
+	wants := parseWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		key := posKey{p.Filename, p.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	keys := make([]posKey, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if w != nil {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// wantRE extracts the quoted patterns of one `// want "a" "b"` comment.
+var wantRE = regexp.MustCompile(`^//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWants indexes the expected-diagnostic comments by file and line.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[posKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", p, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", p, pat, err)
+					}
+					key := posKey{p.Filename, p.Line}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loader type-checks testdata packages, resolving imports to testdata
+// sources first and standard-library export data otherwise.
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	pkgs   map[string]*load.Package
+	std    types.Importer
+	stdExp map[string]string
+}
+
+func newLoader(srcDir string) *loader {
+	ld := &loader{
+		srcDir: srcDir,
+		fset:   token.NewFileSet(),
+		pkgs:   map[string]*load.Package{},
+		stdExp: map[string]string{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "gc", ld.stdExport)
+	return ld
+}
+
+// Import implements types.Importer for the nested type-checks.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.srcDir, filepath.FromSlash(path)); dirExists(dir) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one testdata package (cached).
+func (ld *loader) load(path string) (*load.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pkg := &load.Package{Path: path, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// stdExport resolves a standard-library import to its export data via
+// `go list -export` (offline: the build cache compiles it on demand).
+func (ld *loader) stdExport(path string) (io.ReadCloser, error) {
+	exp, ok := ld.stdExp[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", path)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %s: %w\n%s", path, err, stderr.Bytes())
+		}
+		var e struct{ ImportPath, Export string }
+		if err := json.NewDecoder(&stdout).Decode(&e); err != nil {
+			return nil, err
+		}
+		if e.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		exp = e.Export
+		ld.stdExp[path] = exp
+	}
+	return os.Open(exp)
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"protean/internal/lint/analysis"
+)
+
+// DeterminismBound lists the import paths whose output must be
+// byte-identical across runs and worker counts: the sweep engine and
+// the cluster replay the same work in different orders and diff the
+// results, so any ambient time, global randomness, or map-order
+// dependence in these packages is a latent replay divergence.
+var DeterminismBound = []string{
+	"protean",
+	"protean/internal/cluster",
+	"protean/internal/core",
+	"protean/internal/exp",
+	"protean/internal/fabric",
+}
+
+// Determinism is the default-bound determinism analyzer.
+var Determinism = NewDeterminism(DeterminismBound)
+
+// NewDeterminism builds the determinism analyzer bound to the given
+// package import paths; packages outside the set pass vacuously. The
+// constructor exists so the analysistest suite can bind the check to
+// its testdata packages.
+func NewDeterminism(bound []string) *analysis.Analyzer {
+	set := make(map[string]bool, len(bound))
+	for _, p := range bound {
+		set[p] = true
+	}
+	a := &analysis.Analyzer{
+		Name: "determinism",
+		Doc: "forbid time.Now, global math/rand, and map iteration in packages\n" +
+			"whose output must be byte-identical (waive with //lint:nondeterministic)",
+	}
+	a.Run = func(pass *analysis.Pass) (any, error) {
+		if !set[pass.Pkg.Path()] {
+			return nil, nil
+		}
+		runDeterminism(pass)
+		return nil, nil
+	}
+	return a
+}
+
+// globalRandOK are the math/rand[/v2] package-level names that are fine
+// in deterministic code: constructors for explicitly seeded generators
+// and the types themselves (type uses don't resolve to *types.Func, but
+// keep the list honest for readers).
+var globalRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runDeterminism(pass *analysis.Pass) {
+	wv := newWaivers(pass)
+	const marker = "nondeterministic"
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := callee(pass.TypesInfo, n)
+				switch funcPkgPath(fn) {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						if !wv.ok(n.Pos(), marker) {
+							pass.Reportf(n.Pos(), "call to time.%s in deterministic package %s", fn.Name(), pass.Pkg.Path())
+						}
+					}
+				case "math/rand", "math/rand/v2":
+					// Only package-level functions draw from the shared
+					// global generator; methods on an explicit *Rand are
+					// seeded by the caller and fine.
+					if fn.Type().(*types.Signature).Recv() == nil && !globalRandOK[fn.Name()] {
+						if !wv.ok(n.Pos(), marker) {
+							pass.Reportf(n.Pos(), "call to global %s.%s in deterministic package %s", funcPkgPath(fn), fn.Name(), pass.Pkg.Path())
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					if !wv.ok(n.Pos(), marker) {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic in deterministic package %s; iterate sorted keys or waive", pass.Pkg.Path())
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Package lint holds the repo's custom static analyzers. Three checks
+// guard the invariants ROADMAP.md calls load-bearing:
+//
+//   - determinism: packages whose output must be byte-identical across
+//     runs and worker counts (the facade, internal/cluster,
+//     internal/exp, internal/fabric, internal/core) must not call
+//     time.Now/Since/Until, use the global math/rand generators, or
+//     range over maps.
+//   - seedflow: every rng.New / rng.Derive seed must trace to a config
+//     or spec value, never to an ambient source (wall clock, global
+//     randomness, process identity).
+//   - sinksafe: Sink callbacks run on the simulation's hot path; they
+//     must not block (channel sends/receives, lock acquisition,
+//     sleeping).
+//
+// Each check accepts an explicit per-line waiver comment —
+// //lint:nondeterministic, //lint:ambientseed, //lint:blocking — on the
+// flagged line or the line above it; the waiver text should say why the
+// exception is sound. The analyzers run over packages loaded by
+// internal/lint/load and are exposed through cmd/proteanlint.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"protean/internal/lint/analysis"
+)
+
+// Analyzers is the default multichecker set, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Determinism, Seedflow, Sinksafe}
+}
+
+// waivers indexes the //lint:<marker> comments of one package by file
+// and line, so a check can ask "is this finding waived here?".
+type waivers struct {
+	fset  *token.FileSet
+	lines map[string]map[int]string // filename -> line -> marker
+}
+
+// newWaivers scans every comment of the pass for //lint: markers.
+func newWaivers(pass *analysis.Pass) *waivers {
+	w := &waivers{fset: pass.Fset, lines: map[string]map[int]string{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				marker := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					marker = rest[:i]
+				}
+				pos := w.fset.Position(c.Pos())
+				m := w.lines[pos.Filename]
+				if m == nil {
+					m = map[int]string{}
+					w.lines[pos.Filename] = m
+				}
+				m[pos.Line] = marker
+			}
+		}
+	}
+	return w
+}
+
+// ok reports whether a finding at pos carries the given waiver marker
+// on its own line or the line immediately above.
+func (w *waivers) ok(pos token.Pos, marker string) bool {
+	p := w.fset.Position(pos)
+	m := w.lines[p.Filename]
+	return m != nil && (m[p.Line] == marker || m[p.Line-1] == marker)
+}
+
+// isTestFile reports whether a file is a _test.go file. The standalone
+// loader never feeds these through, but go vet -vettool does; test code
+// neither produces replayed output nor runs on the simulation hot path,
+// so every analyzer skips it for consistent findings across both entry
+// points.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// callee resolves the *types.Func a call expression invokes, or nil for
+// non-call targets (conversions, function values, builtins).
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function (or
+// method: the receiver's package) belongs to, "" for builtins.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

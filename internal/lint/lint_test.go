@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"testing"
+
+	"protean/internal/lint/atest"
+)
+
+// TestDeterminism binds the analyzer to the dtm testdata package and
+// checks that the unbound package passes vacuously.
+func TestDeterminism(t *testing.T) {
+	a := NewDeterminism([]string{"dtm"})
+	atest.Run(t, "testdata", a, "dtm", "unbound")
+}
+
+func TestSeedflow(t *testing.T) {
+	atest.Run(t, "testdata", Seedflow, "seed")
+}
+
+func TestSinksafe(t *testing.T) {
+	atest.Run(t, "testdata", Sinksafe, "sink")
+}
+
+// TestDefaultBinding pins the deterministic package set: the analyzers
+// advertise the facade and the four internal engines ROADMAP.md calls
+// load-bearing. Growing the module should grow this list consciously.
+func TestDefaultBinding(t *testing.T) {
+	want := []string{
+		"protean",
+		"protean/internal/cluster",
+		"protean/internal/core",
+		"protean/internal/exp",
+		"protean/internal/fabric",
+	}
+	if len(DeterminismBound) != len(want) {
+		t.Fatalf("DeterminismBound = %v, want %v", DeterminismBound, want)
+	}
+	for i, p := range want {
+		if DeterminismBound[i] != p {
+			t.Errorf("DeterminismBound[%d] = %q, want %q", i, DeterminismBound[i], p)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package load type-checks module packages for analysis without any
+// dependency outside the standard library and the go tool itself.
+//
+// The strategy mirrors what golang.org/x/tools/go/packages does in
+// LoadAllSyntax mode, reduced to what the proteanlint analyzers need:
+// one `go list -export -deps -json` invocation yields, for every
+// dependency, the compiled export data the build cache already holds
+// (building it on first use), and each target package is then parsed
+// from source and type-checked with go/types against an export-data
+// importer. Everything works offline: no module proxy, no network.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	// Path is the import path (e.g. "protean/internal/fabric").
+	Path string
+	// Fset is the file set shared by every package of one Packages call.
+	Fset *token.FileSet
+	// Files are the parsed sources, with comments (waivers live there).
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the use/def/type maps the analyzers query.
+	Info *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// Packages loads and type-checks the packages matched by patterns
+// (e.g. "./...") in the module rooted at dir, returning them in the
+// order go list produced (deterministic: lexical by import path).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every listed package, targets included: a target
+	// that imports a sibling target reads the sibling's export data, so
+	// each package type-checks independently of the others' source.
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly {
+			continue
+		}
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// check parses one package's sources and type-checks them against the
+// export-data importer.
+func check(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", e.ImportPath, err)
+	}
+	return &Package{Path: e.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

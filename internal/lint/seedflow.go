@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"protean/internal/lint/analysis"
+)
+
+// rngPath is the package whose seed parameters the seedflow analyzer
+// guards: rng.New and rng.Derive are the only entry points into the
+// repo's deterministic stream derivation, so a wall-clock or global-rand
+// seed there silently poisons every downstream draw.
+const rngPath = "protean/internal/rng"
+
+// Seedflow reports rng.New / rng.Derive calls whose seed argument
+// (transitively, through local assignments in the enclosing function)
+// comes from an ambient source — time, global math/rand, crypto/rand,
+// or process identity — instead of a config or spec field. Waive with
+// //lint:ambientseed.
+var Seedflow = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "rng.New / rng.Derive seeds must trace to a config or spec field,\n" +
+		"never an ambient source (waive with //lint:ambientseed)",
+	Run: runSeedflow,
+}
+
+func runSeedflow(pass *analysis.Pass) (any, error) {
+	wv := newWaivers(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := callee(pass.TypesInfo, call)
+				if funcPkgPath(fn) != rngPath {
+					return true
+				}
+				if name := fn.Name(); name != "New" && name != "Derive" {
+					return true
+				}
+				if src := taintSource(pass.TypesInfo, fd.Body, call.Args[0], map[types.Object]bool{}); src != "" {
+					if !wv.ok(call.Pos(), "ambientseed") {
+						pass.Reportf(call.Pos(), "seed for rng.%s derives from ambient %s; seeds must trace to a config or spec field", fn.Name(), src)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// taintSource walks a seed expression and, through local assignments in
+// the enclosing function body, the values feeding it; it returns a
+// human-readable name of the first ambient source found, or "".
+func taintSource(info *types.Info, body *ast.BlockStmt, expr ast.Expr, visited map[types.Object]bool) string {
+	var src string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := callee(info, n); ambientFunc(fn) {
+				src = funcPkgPath(fn) + "." + fn.Name()
+				return false
+			}
+		case *ast.Ident:
+			obj, ok := info.Uses[n].(*types.Var)
+			if !ok || visited[obj] {
+				return true
+			}
+			visited[obj] = true
+			for _, rhs := range assignedValues(info, body, obj) {
+				if s := taintSource(info, body, rhs, visited); s != "" {
+					src = s
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return src
+}
+
+// assignedValues collects every expression assigned to obj inside body:
+// = / := assignments and var declarations.
+func assignedValues(info *types.Info, body *ast.BlockStmt, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if info.Defs[id] == obj || info.Uses[id] == obj {
+					out = append(out, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if info.Defs[id] == obj && i < len(n.Values) {
+					out = append(out, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ambientFunc reports whether fn yields a value that varies run to run:
+// wall-clock reads, the shared math/rand generators, crypto randomness,
+// or process identity.
+func ambientFunc(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	switch funcPkgPath(fn) {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			return true
+		}
+		// time.Time stamp accessors: a seed built from .UnixNano() etc.
+		recv := fn.Type().(*types.Signature).Recv()
+		return recv != nil && strings.HasPrefix(name, "Unix")
+	case "math/rand", "math/rand/v2":
+		return fn.Type().(*types.Signature).Recv() == nil && !globalRandOK[name]
+	case "crypto/rand":
+		return true
+	case "os":
+		return name == "Getpid" || name == "Getppid"
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"protean/internal/lint/analysis"
+)
+
+// Sinksafe reports blocking operations inside Sink callbacks — Event
+// methods on types implementing the facade's Sink interface, and
+// function literals converted to SinkFunc. Sinks run synchronously on
+// the simulation hot path (kernel events fire mid-run), so a blocking
+// send, lock acquisition, or sleep stalls the simulated machine and, in
+// a fleet, a whole worker. Sends and receives inside a select with a
+// default case are non-blocking and allowed. Waive with
+// //lint:blocking.
+var Sinksafe = &analysis.Analyzer{
+	Name: "sinksafe",
+	Doc: "no blocking sends, receives, lock acquisition, or sleeps inside\n" +
+		"Sink callbacks (waive with //lint:blocking)",
+	Run: runSinksafe,
+}
+
+func runSinksafe(pass *analysis.Pass) (any, error) {
+	wv := newWaivers(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		// Event methods: receiver + exactly one parameter of a type
+		// named Event. Matching by name keeps the check working for any
+		// package that redeclares the Sink shape (tests, future facades).
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv != nil && fd.Body != nil &&
+				fd.Name.Name == "Event" && paramTypeNamed(pass.TypesInfo, fd.Type, "Event") {
+				checkSinkBody(pass, wv, fd.Body)
+			}
+		}
+		// SinkFunc literals: conversions SinkFunc(func(...){...}) and
+		// var declarations with an explicit SinkFunc type.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if len(n.Args) == 1 && typeNamed(pass.TypesInfo.Types[n.Fun].Type, "SinkFunc") {
+					if lit, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit); ok {
+						checkSinkBody(pass, wv, lit.Body)
+						return false
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil && typeNamed(pass.TypesInfo.Types[n.Type].Type, "SinkFunc") {
+					for _, v := range n.Values {
+						if lit, ok := ast.Unparen(v).(*ast.FuncLit); ok {
+							checkSinkBody(pass, wv, lit.Body)
+						}
+					}
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// paramTypeNamed reports whether ft has exactly one parameter whose
+// type is a named type called name.
+func paramTypeNamed(info *types.Info, ft *ast.FuncType, name string) bool {
+	if ft.Params == nil || len(ft.Params.List) != 1 || len(ft.Params.List[0].Names) > 1 {
+		return false
+	}
+	return typeNamed(info.Types[ft.Params.List[0].Type].Type, name)
+}
+
+// typeNamed reports whether t is a named (or aliased) type called name.
+func typeNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if alias, ok := t.(*types.Alias); ok {
+		t = types.Unalias(alias)
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// checkSinkBody flags blocking operations in one sink callback body.
+func checkSinkBody(pass *analysis.Pass, wv *waivers, body *ast.BlockStmt) {
+	const marker = "blocking"
+
+	// Channel operations guarded by a select with a default case are
+	// non-blocking; collect them so the main walk can skip them.
+	nonblocking := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			switch comm := cl.(*ast.CommClause).Comm.(type) {
+			case *ast.SendStmt:
+				nonblocking[comm] = true
+			case *ast.ExprStmt:
+				nonblocking[ast.Unparen(comm.X)] = true
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					nonblocking[ast.Unparen(rhs)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Work handed to a goroutine may block freely.
+			return false
+		case *ast.SendStmt:
+			if !nonblocking[n] && !wv.ok(n.Pos(), marker) {
+				pass.Reportf(n.Pos(), "blocking channel send in Sink callback; use a select with default or waive")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonblocking[n] && !wv.ok(n.Pos(), marker) {
+				pass.Reportf(n.Pos(), "blocking channel receive in Sink callback; use a select with default or waive")
+			}
+		case *ast.CallExpr:
+			fn := callee(pass.TypesInfo, n)
+			switch funcPkgPath(fn) {
+			case "sync":
+				switch fn.Name() {
+				case "Lock", "RLock", "Wait":
+					if !wv.ok(n.Pos(), marker) {
+						pass.Reportf(n.Pos(), "sync.%s in Sink callback can block the simulation hot path", fn.Name())
+					}
+				}
+			case "time":
+				if fn.Name() == "Sleep" && !wv.ok(n.Pos(), marker) {
+					pass.Reportf(n.Pos(), "time.Sleep in Sink callback stalls the simulation hot path")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,50 @@
+// Package dtm exercises the determinism analyzer: it is bound as a
+// deterministic package by the test harness.
+package dtm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()   // want "call to time\\.Now in deterministic package dtm"
+	_ = time.Since(t) // want "call to time\\.Since in deterministic package dtm"
+	return t.UnixNano()
+}
+
+func globals() int {
+	n := rand.Intn(10) // want "call to global math/rand\\.Intn in deterministic package dtm"
+	// Explicitly seeded generators are fine.
+	r := rand.New(rand.NewSource(1))
+	return n + r.Intn(10)
+}
+
+func ranges(m map[string]int) []string {
+	s := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		s += v
+	}
+	// The canonical fix: iterate sorted keys. Collecting the keys is
+	// itself a map range and carries a waiver.
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:nondeterministic order erased by the sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func waivedClock() int64 {
+	//lint:nondeterministic wall-clock used for log decoration only
+	return time.Now().UnixNano()
+}
+
+func slices(xs []int) int {
+	s := 0
+	for _, x := range xs { // slice ranges are ordered: no diagnostic
+		s += x
+	}
+	return s
+}

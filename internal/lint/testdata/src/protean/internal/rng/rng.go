@@ -1,0 +1,18 @@
+// Package rng is a stub of the real protean/internal/rng with the same
+// import path, so the seedflow analyzer's binding resolves in testdata.
+package rng
+
+// Stream mirrors the real deterministic stream type.
+type Stream struct{ s uint64 }
+
+// New mirrors rng.New: the guarded seed entry point.
+func New(seed int64) *Stream { return &Stream{s: uint64(seed)} }
+
+// Derive mirrors rng.Derive: the guarded seed-derivation entry point.
+func Derive(base int64, path ...uint64) int64 {
+	v := base
+	for _, p := range path {
+		v ^= int64(p)
+	}
+	return v
+}

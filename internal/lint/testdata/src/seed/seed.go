@@ -1,0 +1,50 @@
+// Package seed exercises the seedflow analyzer.
+package seed
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"protean/internal/rng"
+)
+
+// Config stands in for a spec: its fields are legitimate seed sources.
+type Config struct{ Seed int64 }
+
+func good(c Config) {
+	_ = rng.New(c.Seed)
+	_ = rng.Derive(c.Seed, 1, 2)
+	_ = rng.Derive(c.Seed+42, uint64(c.Seed))
+}
+
+func badClock() {
+	_ = rng.New(time.Now().UnixNano()) // want "seed for rng\\.New derives from ambient time\\."
+}
+
+func badVar() {
+	seed := time.Now().UnixNano()
+	_ = rng.New(seed) // want "seed for rng\\.New derives from ambient time\\."
+}
+
+func badChain(c Config) {
+	s := c.Seed
+	s = s ^ rand.Int63()
+	_ = rng.Derive(s, 7) // want "seed for rng\\.Derive derives from ambient math/rand\\.Int63"
+}
+
+func badPid() {
+	s := int64(os.Getpid())
+	_ = rng.New(s) // want "seed for rng\\.New derives from ambient os\\.Getpid"
+}
+
+func goodExplicitRand(c Config) {
+	// A generator seeded from the config is not ambient.
+	r := rand.New(rand.NewSource(c.Seed))
+	_ = rng.New(r.Int63())
+}
+
+func waived() {
+	//lint:ambientseed interactive demo wants a different run each time
+	_ = rng.New(time.Now().UnixNano())
+}

@@ -1,0 +1,73 @@
+// Package sink exercises the sinksafe analyzer with a local replica of
+// the facade's Sink shape (matching is by type name, so the replica
+// behaves exactly like the real protean.Sink).
+package sink
+
+import (
+	"sync"
+	"time"
+)
+
+// Event mirrors protean.Event.
+type Event struct{ Kind int }
+
+// Sink mirrors protean.Sink.
+type Sink interface{ Event(Event) }
+
+// SinkFunc mirrors protean.SinkFunc.
+type SinkFunc func(Event)
+
+// Event calls f; the adapter itself does nothing blocking.
+func (f SinkFunc) Event(e Event) { f(e) }
+
+type chanSink struct {
+	ch chan Event
+	mu sync.Mutex
+}
+
+func (s *chanSink) Event(e Event) {
+	s.ch <- e   // want "blocking channel send in Sink callback"
+	s.mu.Lock() // want "sync\\.Lock in Sink callback"
+	s.mu.Unlock()
+	select {
+	case s.ch <- e: // non-blocking: select has a default
+	default:
+	}
+	select {
+	case e = <-s.ch: // non-blocking receive
+	default:
+	}
+	go func() {
+		s.ch <- e // goroutines may block freely
+	}()
+}
+
+type rxSink struct{ ch chan Event }
+
+func (s *rxSink) Event(e Event) {
+	<-s.ch // want "blocking channel receive in Sink callback"
+}
+
+func sleepy() Sink {
+	return SinkFunc(func(e Event) {
+		time.Sleep(time.Millisecond) // want "time\\.Sleep in Sink callback"
+	})
+}
+
+var dropAfterWait SinkFunc = func(e Event) {
+	var wg sync.WaitGroup
+	wg.Wait() // want "sync\\.Wait in Sink callback"
+}
+
+type lockSink struct{ mu sync.Mutex }
+
+func (s *lockSink) Event(e Event) {
+	s.mu.Lock() //lint:blocking short critical section, no contention by design
+	defer s.mu.Unlock()
+}
+
+// Event-shaped functions that are not sink callbacks stay unchecked:
+// a two-parameter method is not the Sink interface.
+type notSink struct{ ch chan Event }
+
+func (s *notSink) Event2(e Event, n int) { s.ch <- e }

@@ -1,0 +1,16 @@
+// Package unbound is NOT in the determinism-bound set: the same
+// constructs that are findings in dtm must pass silently here.
+package unbound
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free(m map[string]int) int64 {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return time.Now().UnixNano() + int64(rand.Intn(10)) + int64(s)
+}

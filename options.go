@@ -31,6 +31,7 @@ type config struct {
 	tlb1         int
 	pfus         int
 	budget       uint64
+	lintWarnings bool
 	sink         Sink
 	disasmW      io.Writer
 	disasmN      int
@@ -189,6 +190,20 @@ func WithPFUs(n int) Option {
 func WithBudget(cycles uint64) Option {
 	return func(c *config) error {
 		c.budget = cycles
+		return nil
+	}
+}
+
+// WithLintWarnings lints every circuit image a spawned program registers
+// (see Image.Lint) and emits one EventLintWarning per finding through
+// the session's progress sink, once per distinct configuration per
+// session. Findings are diagnostics only — dead logic cones, constant
+// LUTs, unused flip-flops, floating inputs — and never affect the run;
+// behavioural images, which carry no netlist, report nothing. Pair it
+// with WithProgress, or the warnings have nowhere to go.
+func WithLintWarnings() Option {
+	return func(c *config) error {
+		c.lintWarnings = true
 		return nil
 	}
 }

@@ -75,6 +75,9 @@ type Session struct {
 	tl    *trace.Log
 	procs []*Proc
 	ran   bool
+	// linted dedupes WithLintWarnings emissions by configuration key, so
+	// a session warns once per distinct circuit, not once per spawn.
+	linted map[core.ConfigKey]bool
 }
 
 // New builds a session: a ProteanARM machine with a booted POrSCHE kernel,
@@ -232,9 +235,34 @@ func (s *Session) spawn(name, workload string, prog Program) (*Proc, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.cfg.lintWarnings {
+		s.lintImages(name, prog.Images)
+	}
 	p := &Proc{PID: kp.PID, Name: name, Workload: workload, expected: prog.Expected}
 	s.procs = append(s.procs, p)
 	return p, nil
+}
+
+// lintImages emits one EventLintWarning per static-analysis finding in a
+// program's circuit images, once per distinct configuration key per
+// session (the lint pass itself is cached process-wide; see Image.Lint).
+func (s *Session) lintImages(proc string, images []*Image) {
+	for _, img := range images {
+		if img == nil || s.linted[img.Key()] {
+			continue
+		}
+		if s.linted == nil {
+			s.linted = map[core.ConfigKey]bool{}
+		}
+		s.linted[img.Key()] = true
+		for _, msg := range img.Lint() {
+			s.emit(Event{
+				Kind:    EventLintWarning,
+				Label:   img.Name,
+				Message: fmt.Sprintf("lint: image %s (registered by %s): %s", img.Name, proc, msg),
+			})
+		}
+	}
 }
 
 var errAlreadyRan = errors.New("protean: session already run — build a new Session per run")

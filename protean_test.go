@@ -3,8 +3,11 @@ package protean_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -236,6 +239,39 @@ func TestSessionMisuse(t *testing.T) {
 	}
 	if _, err := s.Spawn("alpha", 1, 10); err == nil {
 		t.Error("Spawn after Run accepted")
+	}
+}
+
+// TestWorkloadsSorted pins Workloads' ordering contract: the listing is
+// sorted and stays sorted as names register, without ever iterating the
+// registry map (the facade is determinism-bound; see internal/lint).
+func TestWorkloadsSorted(t *testing.T) {
+	names := protean.Workloads()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Workloads() not sorted: %v", names)
+	}
+	// Register a name that sorts before most built-ins and check it
+	// lands in order, not at the end.
+	reg := func(name string) {
+		t.Helper()
+		err := protean.RegisterWorkload(protean.Workload{
+			Name: name,
+			Build: func(items int, soft bool) (protean.Program, error) {
+				return protean.Program{Name: name, Source: "swi 0\n"}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg("aaa/sort-probe")
+	reg("zzz/sort-probe")
+	after := protean.Workloads()
+	if !sort.StringsAreSorted(after) {
+		t.Fatalf("Workloads() not sorted after registration: %v", after)
+	}
+	if len(after) != len(names)+2 {
+		t.Fatalf("Workloads() length = %d, want %d", len(after), len(names)+2)
 	}
 }
 
@@ -500,5 +536,147 @@ d2:
 	}
 	if res.Kernel.Kills != 1 {
 		t.Errorf("kills = %d", res.Kernel.Kills)
+	}
+}
+
+// dirtyImage builds a gate-level bitstream image with deliberate lint
+// findings: a dead inverter cone and an unobserved flip-flop, encoded
+// without the Optimize pass that would sweep them.
+func dirtyImage(t *testing.T, name string) *protean.Image {
+	t.Helper()
+	// Start from an optimised passthrough (it needs the full PFU port
+	// shape) and graft on a dead inverter plus an unobserved flip-flop,
+	// bypassing Optimize so the findings survive into the bitstream.
+	n := fabric.Passthrough32()
+	n.Name = name
+	fabric.Optimize(n)
+	a, _ := n.PortByName("a")
+	latched := fabric.Net(n.NumNets)
+	q := latched + 1
+	dead := latched + 2
+	n.NumNets += 3
+	n.LUTs = append(n.LUTs,
+		// Feeds only the unobserved flip-flop below.
+		fabric.LUT{
+			In:    [4]fabric.Net{a.Nets[0], fabric.NilNet, fabric.NilNet, fabric.NilNet},
+			Table: fabric.CanonTable(0x1, 1),
+			Out:   latched,
+		},
+		// Feeds nothing at all: a dead cone.
+		fabric.LUT{
+			In:    [4]fabric.Net{a.Nets[1], fabric.NilNet, fabric.NilNet, fabric.NilNet},
+			Table: fabric.CanonTable(0x1, 1),
+			Out:   dead,
+		})
+	n.FFs = append(n.FFs, fabric.FF{D: latched, Q: q})
+	cfg, _, err := fabric.Place(n, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := fabric.EncodeStatic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := core.NewBitstreamImage(name, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestLintWarningsEmitted pins the opt-in image-lint hook: a session
+// built with WithLintWarnings emits one EventLintWarning per finding at
+// spawn time, dedupes repeated registrations of the same configuration,
+// and stays silent for images with nothing to report.
+func TestLintWarningsEmitted(t *testing.T) {
+	var mu sync.Mutex
+	var got []protean.Event
+	sink := protean.SinkFunc(func(e protean.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if e.Kind == protean.EventLintWarning {
+			got = append(got, e)
+		}
+	})
+	s, err := protean.New(protean.WithLintWarnings(), protean.WithProgress(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := dirtyImage(t, "dirty")
+	if findings := img.Lint(); len(findings) < 2 {
+		t.Fatalf("Image.Lint = %v, want a dead cone and an unused FF", findings)
+	}
+	// Two processes registering the same image: findings reported once.
+	for _, name := range []string{"p1", "p2"} {
+		if _, err := s.SpawnProgram(name, "mov r0, #0\n swi 0\n", []*protean.Image{img}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A behavioural image has no netlist: nothing to report.
+	if _, err := s.SpawnProgram("p3", "mov r0, #0\n swi 0\n", []*protean.Image{addImage("clean")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("lint events = %v, want the dirty image's findings", got)
+	}
+	for _, e := range got {
+		if e.Label != "dirty" {
+			t.Errorf("lint event for image %q: %s", e.Label, e.Message)
+		}
+		if !strings.Contains(e.Message, "lint: image dirty") {
+			t.Errorf("unexpected message %q", e.Message)
+		}
+	}
+	seen := map[string]bool{}
+	for _, e := range got {
+		if seen[e.Message] {
+			t.Errorf("finding reported twice: %q", e.Message)
+		}
+		seen[e.Message] = true
+	}
+	// The session without the option stays silent.
+	var quiet []protean.Event
+	qsink := protean.SinkFunc(func(e protean.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if e.Kind == protean.EventLintWarning {
+			quiet = append(quiet, e)
+		}
+	})
+	s2, err := protean.New(protean.WithProgress(qsink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.SpawnProgram("p1", "mov r0, #0\n swi 0\n", []*protean.Image{img}); err != nil {
+		t.Fatal(err)
+	}
+	if len(quiet) != 0 {
+		t.Errorf("lint events without WithLintWarnings: %v", quiet)
+	}
+}
+
+// TestSessionSpecLintWarnings pins the scenario spelling of the hook:
+// lint_warnings round-trips through the SessionSpec JSON field.
+func TestSessionSpecLintWarnings(t *testing.T) {
+	sc := protean.Scenario{
+		Nodes: []protean.NodeSpec{{Session: protean.SessionSpec{LintWarnings: true}}},
+		Jobs:  []protean.JobSpec{{Workload: "echo", Items: 4}},
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"lint_warnings":true`) {
+		t.Fatalf("saved spec lacks lint_warnings: %s", data)
+	}
+	back, err := protean.LoadScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Nodes[0].Session.LintWarnings {
+		t.Fatal("lint_warnings lost on reload")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }

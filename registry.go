@@ -93,6 +93,10 @@ func buildTemplate(w Workload, items int, soft bool) (Program, error) {
 var registry = struct {
 	sync.RWMutex
 	m map[string]Workload
+	// names mirrors the map's keys in sorted order, maintained at
+	// registration time so Workloads never iterates the map (map order
+	// is nondeterministic; the facade is a determinism-bound package).
+	names []string
 }{m: map[string]Workload{}}
 
 // RegisterWorkload adds a named workload to the registry, making it
@@ -111,6 +115,10 @@ func RegisterWorkload(w Workload) error {
 		return fmt.Errorf("protean: workload %q already registered", w.Name)
 	}
 	registry.m[w.Name] = w
+	i := sort.SearchStrings(registry.names, w.Name)
+	registry.names = append(registry.names, "")
+	copy(registry.names[i+1:], registry.names[i:])
+	registry.names[i] = w.Name
 	return nil
 }
 
@@ -125,11 +133,8 @@ func mustRegister(w Workload) {
 func Workloads() []string {
 	registry.RLock()
 	defer registry.RUnlock()
-	names := make([]string, 0, len(registry.m))
-	for name := range registry.m {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := make([]string, len(registry.names))
+	copy(names, registry.names)
 	return names
 }
 

@@ -75,6 +75,7 @@ type SessionSpec struct {
 	TLB1Entries  int       `json:"tlb1_entries,omitempty"`   // WithTLB1Entries
 	PFUs         int       `json:"pfus,omitempty"`           // WithPFUs (0 = 4)
 	Budget       uint64    `json:"budget,omitempty"`         // WithBudget
+	LintWarnings bool      `json:"lint_warnings,omitempty"`  // WithLintWarnings
 	Costs        CostModel `json:"costs,omitzero"`           // WithCostModel (zero = scaled defaults)
 }
 
@@ -146,6 +147,14 @@ const (
 	MaxScenarioJobs  = 1 << 16
 )
 
+// MaxScenarioItems caps a job's work-unit count. Resolving a job builds
+// its workload template, and the built-in builders compute their
+// expected checksum in O(items) — so without a cap a hostile spec could
+// stall Validate (or LoadScenario) arbitrarily long before any
+// simulation runs. The bound is ~16x the largest paper-scale default
+// (alpha's 4.3M work units at scale 1).
+const MaxScenarioItems = 1 << 26
+
 // JobSpec is one submitted job: instances of a registered workload that
 // run together in a single session on whichever node the dispatcher
 // picks.
@@ -196,6 +205,9 @@ func (ss SessionSpec) options() ([]Option, error) {
 	if ss.PFUs != 0 {
 		opts = append(opts, WithPFUs(ss.PFUs))
 	}
+	if ss.LintWarnings {
+		opts = append(opts, WithLintWarnings())
+	}
 	if ss.Costs != (CostModel{}) {
 		opts = append(opts, WithCostModel(ss.Costs))
 	}
@@ -227,6 +239,7 @@ func (c config) spec() SessionSpec {
 		TLB1Entries:  c.tlb1,
 		PFUs:         c.pfus,
 		Budget:       c.budget,
+		LintWarnings: c.lintWarnings,
 	}
 	if c.costsSet {
 		ss.Costs = c.costs
@@ -539,6 +552,9 @@ func resolveJob(js JobSpec, refScale Scale, soft bool) (fleetJob, error) {
 		return fleetJob{}, fmt.Errorf("negative items %d", js.Items)
 	}
 	items := js.Items
+	if items > MaxScenarioItems {
+		return fleetJob{}, fmt.Errorf("items %d exceeds the %d cap", items, MaxScenarioItems)
+	}
 	if items == 0 {
 		items = refScale.Items(js.Workload)
 		if items <= 0 {
