@@ -10,6 +10,19 @@
 // circuit is not clean. CI runs fplstat -lint to keep the stock library
 // free of dead logic, constant LUTs, unused flip-flops, floating inputs
 // and combinational cycles.
+//
+// With -equiv the tool runs the formal equivalence checker (fabric.Equiv)
+// over the whole flow for every circuit: the optimiser runs in its
+// self-checking mode, the encoded-then-decoded configuration is proved
+// equivalent to the optimised netlist, and the compiled program is
+// verified against the configuration it was lowered from. Any unproven
+// circuit exits nonzero; CI runs fplstat -equiv so the stock library
+// ships with proofs, not samples.
+//
+// With -sta the tool prints each circuit's static timing report
+// (fabric.Timing): critical-path depth in LUT levels, the level
+// histogram and the critical endpoint with its explicit CLB path. A
+// circuit whose configuration cannot be timed exits nonzero.
 package main
 
 import (
@@ -24,6 +37,8 @@ func main() {
 	w := flag.Int("w", fabric.DefaultPFUSpec.W, "array width in CLBs")
 	h := flag.Int("h", fabric.DefaultPFUSpec.H, "array height in CLBs")
 	lint := flag.Bool("lint", false, "lint every circuit and placed configuration; exit nonzero on findings")
+	equiv := flag.Bool("equiv", false, "prove optimiser, encoder and compiler preserve every circuit; exit nonzero on unproven")
+	sta := flag.Bool("sta", false, "print static timing reports for every placed configuration")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "fplstat: unexpected argument %q (the tool takes flags only)\n", flag.Arg(0))
@@ -55,7 +70,19 @@ func main() {
 	for _, c := range circuits {
 		n := c.mk()
 		before := n.Stats()
-		removed := fabric.Optimize(n)
+		if *equiv {
+			_, rep, err := fabric.OptimizeChecked(n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fplstat: %s: optimise proof: %v\n", c.name, err)
+				os.Exit(1)
+			}
+			if !rep.Equivalent {
+				fmt.Fprintf(os.Stderr, "fplstat: %s: optimise proof failed: %s\n", c.name, rep)
+				os.Exit(1)
+			}
+		} else {
+			fabric.Optimize(n)
+		}
 		after := n.Stats()
 		cfg, stats, err := fabric.Place(n, spec)
 		if err != nil {
@@ -71,13 +98,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fplstat: %s failed validation: %v\n", c.name, err)
 			os.Exit(1)
 		}
-		_ = removed
-		_ = bits
 		fmt.Printf("%-12s %8d %8d %8d %6d %6d %6.1f%% %10d %6d\n",
 			c.name, before.LUTs, after.LUTs, after.FFs, after.Depth,
 			stats.Cells, stats.Utilization*100, stats.Wirelength, stats.MaxWire)
 		if *lint {
 			findings += lintCircuit(c.name, n, cfg)
+		}
+		if *equiv {
+			proveCircuit(c.name, n, bits)
+		}
+		if *sta {
+			staCircuit(c.name, cfg)
 		}
 	}
 	if findings > 0 {
@@ -109,4 +140,67 @@ func lintCircuit(name string, n *fabric.Netlist, cfg *fabric.ArrayConfig) int {
 		found++
 	}
 	return found
+}
+
+// proveCircuit proves the rest of the flow for one optimised netlist:
+// the encoded-then-decoded configuration implements the netlist, and
+// the compiled program implements the configuration. The optimiser's
+// own proof ran in OptimizeChecked, so together the chain covers source
+// netlist -> optimised netlist -> bitstream -> compiled program. Exits
+// nonzero on any unproven step.
+func proveCircuit(name string, n *fabric.Netlist, bits []byte) {
+	img, err := fabric.Decode(bits)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: decode: %v\n", name, err)
+		os.Exit(1)
+	}
+	rep, err := fabric.EquivConfig(img.Config, n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: config proof: %v\n", name, err)
+		os.Exit(1)
+	}
+	if !rep.Equivalent {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: decoded configuration differs from netlist: %s\n", name, rep)
+		os.Exit(1)
+	}
+	prog, err := fabric.Compile(img.Config)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: compile: %v\n", name, err)
+		os.Exit(1)
+	}
+	vrep, err := prog.Verify(img.Config)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: compiled proof: %v\n", name, err)
+		os.Exit(1)
+	}
+	if !vrep.Equivalent {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: compiled program differs from configuration: %s\n", name, vrep)
+		os.Exit(1)
+	}
+	fmt.Printf("  equiv %s: proved (%d outputs, %d registers, %d rounds, %d nodes)\n",
+		name, rep.Outputs, rep.Registers, rep.Rounds, rep.Nodes)
+}
+
+// staCircuit prints the static timing report for one placed
+// configuration, exiting nonzero if it cannot be timed.
+func staCircuit(name string, cfg *fabric.ArrayConfig) {
+	rep, err := fabric.Timing(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fplstat: %s: timing: %v\n", name, err)
+		os.Exit(1)
+	}
+	rep.Name = name
+	fmt.Printf("  %s\n", indentReport(rep.String()))
+}
+
+// indentReport keeps multi-line reports aligned under the stats table.
+func indentReport(s string) string {
+	out := make([]byte, 0, len(s)+16)
+	for i := 0; i < len(s); i++ {
+		out = append(out, s[i])
+		if s[i] == '\n' {
+			out = append(out, ' ', ' ')
+		}
+	}
+	return string(out)
 }

@@ -7,13 +7,19 @@
 //
 //	proteansim -app alpha|twofish|echo|mix -n 4 [-quantum cycles]
 //	           [-policy rr|random|lru|2chance] [-soft] [-sharing]
-//	           [-items N] [-scale N] [-trace] [-progress] [-lint]
+//	           [-items N] [-scale N] [-trace] [-progress] [-lint] [-sta]
 //
 // -lint lints every circuit image the spawned programs register (dead
 // logic, constant LUTs, unused flip-flops, floating inputs — see
 // fabric.LintConfig) and prints the findings to stderr at spawn time; it
 // composes with -app and -scenario. Only gate-level bitstream images
 // carry a netlist to lint, so pair it with -gatelevel to see it bite.
+//
+// -sta prints each distinct circuit image's static timing summary —
+// critical-path depth in LUT levels under the fabric's unit-delay model
+// (see fabric.Timing) — to stderr at spawn time. Like -lint it composes
+// with -app and -scenario, bites only on gate-level bitstream images,
+// and is rejected with -cluster.
 //
 // -app accepts any registered workload name (see -list), "mix" for one
 // instance of each paper application in rotation, or a comma-separated
@@ -70,6 +76,7 @@ func main() {
 	gate := flag.Bool("gatelevel", false, "run the alpha circuit as its real placed bitstream on the fabric simulator (slow)")
 	disasmN := flag.Int("disasm", 0, "stream a disassembly of the first N executed instructions to stderr")
 	lintW := flag.Bool("lint", false, "lint circuit images at build time and print findings to stderr")
+	staW := flag.Bool("sta", false, "print static timing summaries of circuit images at build time to stderr")
 	clusterMode := flag.Bool("cluster", false, "run a simulated fleet fed from a job queue instead of one session")
 	nodes := flag.Int("nodes", 4, "cluster: fleet size")
 	jobs := flag.Int("jobs", 8, "cluster: number of jobs (rotating through the -app list)")
@@ -101,7 +108,7 @@ func main() {
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "progress", "lint":
+			case "scenario", "progress", "lint", "sta":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -109,17 +116,17 @@ func main() {
 		if len(conflicts) > 0 {
 			err = fmt.Errorf("-scenario takes the whole configuration from the spec file; drop %s", strings.Join(conflicts, ", "))
 		} else {
-			err = runScenario(*scenarioPath, *progress, *lintW)
+			err = runScenario(*scenarioPath, *progress, *lintW, *staW)
 		}
 	} else if *clusterMode {
-		if *showTrace || *disasmN > 0 || *lintW {
-			err = fmt.Errorf("-trace, -disasm and -lint are per-session debugging aids and are not supported with -cluster; run the same fleet as a -scenario spec to lint it")
+		if *showTrace || *disasmN > 0 || *lintW || *staW {
+			err = fmt.Errorf("-trace, -disasm, -lint and -sta are per-session debugging aids and are not supported with -cluster; run the same fleet as a -scenario spec to analyse it")
 		} else {
 			err = runCluster(*appName, *jobs, *n, *nodes, *placement, *slots, *gap,
 				uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *progress, *gate)
 		}
 	} else {
-		err = run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN, *lintW)
+		err = run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN, *lintW, *staW)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proteansim:", err)
@@ -183,7 +190,7 @@ func runCluster(appName string, jobs, perJob, nodes int, placementName string, s
 // runScenario runs the -scenario mode: the whole fleet description —
 // nodes, arrivals, admission, placement, jobs — comes from one JSON
 // spec file.
-func runScenario(path string, progress, lint bool) error {
+func runScenario(path string, progress, lint, sta bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -196,12 +203,19 @@ func runScenario(path string, progress, lint bool) error {
 	if progress {
 		opts = append(opts, protean.WithRunProgress(protean.WriterSink(os.Stderr)))
 	}
-	if lint {
-		// Lint every job session's circuit images; only the lint
-		// warnings flow through the per-session sink, so this composes
-		// with -progress (which watches the fleet, not the sessions).
-		opts = append(opts, protean.WithRunSessionOptions(
-			protean.WithLintWarnings(), protean.WithProgress(lintSink())))
+	if lint || sta {
+		// Analyse every job session's circuit images; only the lint and
+		// timing events flow through the per-session sink, so this
+		// composes with -progress (which watches the fleet, not the
+		// sessions).
+		sess := []protean.Option{protean.WithProgress(diagSink(lint, sta))}
+		if lint {
+			sess = append(sess, protean.WithLintWarnings())
+		}
+		if sta {
+			sess = append(sess, protean.WithTimingStats())
+		}
+		opts = append(opts, protean.WithRunSessionOptions(sess...))
 	}
 	fr, err := protean.RunScenario(context.Background(), sc, opts...)
 	if err != nil {
@@ -285,17 +299,18 @@ func parseApps(s string, gate bool) ([]string, error) {
 	return names, nil
 }
 
-// lintSink prints lint-warning events — and nothing else — to stderr,
-// for -lint runs that did not also ask for full -progress streaming.
-func lintSink() protean.Sink {
+// diagSink prints lint-warning and/or timing events — and nothing else —
+// to stderr, for -lint / -sta runs that did not also ask for full
+// -progress streaming.
+func diagSink(lint, sta bool) protean.Sink {
 	return protean.SinkFunc(func(e protean.Event) {
-		if e.Kind == protean.EventLintWarning {
+		if (lint && e.Kind == protean.EventLintWarning) || (sta && e.Kind == protean.EventTiming) {
 			fmt.Fprintln(os.Stderr, e.Message)
 		}
 	})
 }
 
-func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, progress, gate bool, disasmN int, lint bool) error {
+func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, progress, gate bool, disasmN int, lint, sta bool) error {
 	pol, err := protean.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -316,11 +331,15 @@ func run(appName string, n int, quantum uint32, policyName string, soft, sharing
 	}
 	if lint {
 		opts = append(opts, protean.WithLintWarnings())
-		if !progress {
-			// -progress already renders every event, lint warnings
-			// included; without it, route just the warnings to stderr.
-			opts = append(opts, protean.WithProgress(lintSink()))
-		}
+	}
+	if sta {
+		opts = append(opts, protean.WithTimingStats())
+	}
+	if (lint || sta) && !progress {
+		// -progress already renders every event, lint warnings and
+		// timing summaries included; without it, route just the
+		// diagnostics to stderr.
+		opts = append(opts, protean.WithProgress(diagSink(lint, sta)))
 	}
 	if disasmN > 0 {
 		opts = append(opts, protean.WithDisasm(os.Stderr, disasmN))

@@ -31,6 +31,10 @@ const (
 	// spawned program's circuit images when the session was built with
 	// WithLintWarnings — at spawn time, before the run starts.
 	EventLintWarning
+	// EventTiming fires once per distinct circuit image when the session
+	// was built with WithTimingStats — at spawn time, before the run
+	// starts — carrying the image's static critical-path summary.
+	EventTiming
 )
 
 func (k EventKind) String() string {
@@ -49,6 +53,8 @@ func (k EventKind) String() string {
 		return "fleet-done"
 	case EventLintWarning:
 		return "lint-warning"
+	case EventTiming:
+		return "timing"
 	default:
 		return fmt.Sprintf("event%d", int(k))
 	}

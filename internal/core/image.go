@@ -90,6 +90,10 @@ type Image struct {
 	// lint, when non-nil, reports static-analysis findings for the
 	// loadable configuration; see Image.Lint.
 	lint func() []string
+
+	// timing, when non-nil, returns the static timing report for the
+	// loadable configuration; see Image.Timing.
+	timing func() *fabric.TimingReport
 }
 
 // Key returns the image's configuration-content identity (see ConfigKey).
@@ -146,7 +150,8 @@ func NewBitstreamImage(name string, bits []byte) (*Image, error) {
 		newInstance: func() (Model, error) {
 			return &fabricModel{inst: prog.NewInstance()}, nil
 		},
-		lint: func() []string { return lintBitstream(key, bits) },
+		lint:   func() []string { return lintBitstream(key, bits) },
+		timing: func() *fabric.TimingReport { return timingBitstream(key, bits) },
 	}, nil
 }
 

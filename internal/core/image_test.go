@@ -73,3 +73,46 @@ func TestConfigKeyIdentity(t *testing.T) {
 		t.Error("identical bitstreams produced different keys (names must not matter)")
 	}
 }
+
+// TestImageTiming pins the static-timing surface of images: fabric
+// images expose a cached report keyed by configuration content,
+// behavioural images (no decodable configuration) report nothing.
+func TestImageTiming(t *testing.T) {
+	n := fabric.Adder32()
+	img, err := NewFabricImage("adder", n, fabric.DefaultPFUSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := img.Timing()
+	if rep == nil {
+		t.Fatal("fabric image has no timing report")
+	}
+	if rep.MaxDepth <= 0 || rep.LUTs <= 0 {
+		t.Fatalf("implausible report: depth %d, %d LUTs", rep.MaxDepth, rep.LUTs)
+	}
+	if img.Timing() != rep {
+		t.Error("second Timing call did not hit the cache")
+	}
+
+	// Identical configurations share one cached report, however the
+	// image was built or named.
+	n2 := fabric.Adder32()
+	img2, err := NewFabricImage("adder-again", n2, fabric.DefaultPFUSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.Key() != img.Key() {
+		t.Fatal("same netlist produced different config keys")
+	}
+	if img2.Timing() != rep {
+		t.Error("equal-key images returned distinct timing reports")
+	}
+
+	beh := NewBehaviouralImage(BehaviouralSpec{
+		Name: "soft", Spec: fabric.DefaultPFUSpec, StateWords: 1,
+		Step: func(st []uint32, a, b uint32, init bool) (uint32, bool) { return a ^ b, true },
+	})
+	if beh.Timing() != nil {
+		t.Error("behavioural image claims a timing report")
+	}
+}

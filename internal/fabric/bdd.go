@@ -1,0 +1,176 @@
+package fabric
+
+// Reduced ordered binary decision diagrams, the canonical-function layer
+// under the equivalence checker (equiv.go). The manager is deliberately
+// minimal: hash-consed nodes, a single if-then-else operator with a
+// memo table, truth-table composition by Shannon expansion, and
+// one-satisfying-path extraction for counterexamples. Reduction and
+// ordering make every boolean function a unique node reference, so
+// "prove f == g" is a pointer comparison.
+//
+// Variables are identified by their rank in the global order chosen by
+// the checker; smaller ranks sit nearer the root. The node table only
+// grows — there is no garbage collection — so every build runs under an
+// explicit node limit and the checker falls back (or reports an honest
+// error) when a function has no small BDD under the chosen order.
+
+// bddRef names one node in a manager. Refs 0 and 1 are the constant
+// functions; every other ref is an internal decision node.
+type bddRef int32
+
+const (
+	bddFalse bddRef = 0
+	bddTrue  bddRef = 1
+)
+
+// bddLeafVar is the pseudo-variable of the two constant nodes: larger
+// than every real rank, so the top-variable computation in ite never
+// selects a leaf.
+const bddLeafVar = int32(1<<31 - 1)
+
+// bddNode is one decision node: branch on variable v, taking lo when v
+// is false and hi when v is true. The struct doubles as the
+// hash-consing key.
+type bddNode struct {
+	v      int32
+	lo, hi bddRef
+}
+
+// bddLimitError is the contained panic mk raises when the node table
+// would exceed the configured limit; build entry points recover it and
+// turn it into an ordinary error.
+type bddLimitError struct{ limit int }
+
+// bddManager owns one node table. All functions combined under one
+// manager share the variable order, so equal functions are equal refs.
+type bddManager struct {
+	nodes  []bddNode
+	unique map[bddNode]bddRef
+	iteC   map[[3]bddRef]bddRef
+	limit  int
+}
+
+func newBDDManager(limit int) *bddManager {
+	m := &bddManager{
+		nodes:  make([]bddNode, 2, 1024),
+		unique: make(map[bddNode]bddRef, 1024),
+		iteC:   make(map[[3]bddRef]bddRef, 1024),
+		limit:  limit,
+	}
+	m.nodes[bddFalse] = bddNode{v: bddLeafVar}
+	m.nodes[bddTrue] = bddNode{v: bddLeafVar}
+	return m
+}
+
+// mk returns the canonical node (v, lo, hi), applying the two reduction
+// rules: redundant tests collapse, and structurally equal nodes share.
+func (m *bddManager) mk(v int32, lo, hi bddRef) bddRef {
+	if lo == hi {
+		return lo
+	}
+	key := bddNode{v: v, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	if len(m.nodes) >= m.limit {
+		panic(bddLimitError{limit: m.limit})
+	}
+	r := bddRef(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+// varNode returns the single-variable function for rank v.
+func (m *bddManager) varNode(v int32) bddRef { return m.mk(v, bddFalse, bddTrue) }
+
+func (m *bddManager) constNode(b bool) bddRef {
+	if b {
+		return bddTrue
+	}
+	return bddFalse
+}
+
+// cofactor splits f by variable v, which must order at or above f's top
+// variable.
+func (m *bddManager) cofactor(f bddRef, v int32) (lo, hi bddRef) {
+	n := &m.nodes[f]
+	if n.v != v {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// ite computes if-then-else(f, g, h), the universal connective every
+// other operator reduces to.
+func (m *bddManager) ite(f, g, h bddRef) bddRef {
+	switch {
+	case f == bddTrue:
+		return g
+	case f == bddFalse:
+		return h
+	case g == h:
+		return g
+	case g == bddTrue && h == bddFalse:
+		return f
+	}
+	key := [3]bddRef{f, g, h}
+	if r, ok := m.iteC[key]; ok {
+		return r
+	}
+	top := m.nodes[f].v
+	if v := m.nodes[g].v; v < top {
+		top = v
+	}
+	if v := m.nodes[h].v; v < top {
+		top = v
+	}
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	h0, h1 := m.cofactor(h, top)
+	r := m.mk(top, m.ite(f0, g0, h0), m.ite(f1, g1, h1))
+	m.iteC[key] = r
+	return r
+}
+
+func (m *bddManager) not(f bddRef) bddRef    { return m.ite(f, bddFalse, bddTrue) }
+func (m *bddManager) xor(f, g bddRef) bddRef { return m.ite(f, m.not(g), g) }
+
+// lutBDD composes a 4-input truth table over four operand functions by
+// Shannon expansion, specialising the table with collapseInput — the
+// same primitive the optimizer folds constants with — so table
+// semantics here and in every simulator come from one place.
+func (m *bddManager) lutBDD(tab uint16, in [4]bddRef) bddRef {
+	return m.lutRec(tab, in, 4)
+}
+
+func (m *bddManager) lutRec(tab uint16, in [4]bddRef, k int) bddRef {
+	if k == 0 {
+		return m.constNode(tab&1 != 0)
+	}
+	// Constant and ignored inputs short-circuit inside ite's terminal
+	// cases, so no special handling is needed here.
+	hi := m.lutRec(collapseInput(tab, k-1, true), in, k-1)
+	lo := m.lutRec(collapseInput(tab, k-1, false), in, k-1)
+	return m.ite(in[k-1], hi, lo)
+}
+
+// satOne fills assign (indexed by variable rank: 0 don't-care, 1 false,
+// 2 true) with one satisfying path of f, reporting whether f is
+// satisfiable. Variables not on the chosen path stay don't-care.
+func (m *bddManager) satOne(f bddRef, assign []int8) bool {
+	if f == bddFalse {
+		return false
+	}
+	for f != bddTrue {
+		n := &m.nodes[f]
+		if n.hi != bddFalse {
+			assign[n.v] = 2
+			f = n.hi
+		} else {
+			assign[n.v] = 1
+			f = n.lo
+		}
+	}
+	return true
+}

@@ -1,0 +1,1038 @@
+package fabric
+
+// Formal equivalence checking across the three execution substrates:
+// structural netlists (Sim), array configurations (the interpretive
+// PFU) and compiled programs (Instance). Each substrate lowers to one
+// normalized symbolic circuit — inputs, registers, hash-consed LUT
+// gates, output obligations and next-state functions — and the prover
+// builds canonical BDDs (bdd.go) for every output cone of both sides
+// under a shared variable order, so equivalence is reference equality.
+//
+// Sequential circuits are proved under the natural register
+// correspondence: registers are partitioned into equivalence classes by
+// van-Eijk-style refinement, seeded by initial value and split until
+// every class has one next-state function under the class abstraction.
+// The fixpoint partition is inductive (class-mates start equal and stay
+// equal), so output equality over the abstracted state space implies
+// equality on every reachable state. The method is sound but
+// incomplete: circuits that re-encode their state (no per-register
+// correspondence) can be reported inequivalent with a counterexample
+// state that no execution reaches — the counterexample is always a
+// concrete state pair and input vector that the simulators reproduce,
+// but it is "reachable" only up to the register correspondence.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// inKey names one bit at a circuit boundary: an input or output port
+// bit. Two circuits are comparable when their input and output key sets
+// match exactly.
+type inKey struct {
+	Port string
+	Bit  int
+}
+
+func (k inKey) String() string { return fmt.Sprintf("%s[%d]", k.Port, k.Bit) }
+
+// Operand references in a symbolic circuit: non-negative refs index the
+// value array laid out [inputs | registers | gates]; the two negative
+// refs are the boolean constants.
+const (
+	symConst0 int32 = -1
+	symConst1 int32 = -2
+)
+
+// symGate is one hash-consed LUT gate: a truth table over four operand
+// refs (unused positions hold symConst0 and a table that ignores them).
+// The struct doubles as the structural-hashing key.
+type symGate struct {
+	in  [4]int32
+	tab uint16
+}
+
+// outObl is one output obligation: the named boundary bit and the ref
+// computing it.
+type outObl struct {
+	key inKey
+	ref int32
+}
+
+// symCircuit is the normalized form every substrate lowers to. Gates
+// are in topological order (a gate's operands are strictly earlier
+// refs). regSlot maps each register to its position in the substrate's
+// state frame (FF index for netlists, CLB index for configurations), so
+// counterexample states load directly into Sim, PFU or Instance.
+type symCircuit struct {
+	name     string
+	inputs   []inKey
+	regInit  []bool
+	regSlot  []int
+	stateLen int
+	gates    []symGate
+	outs     []outObl
+	next     []int32 // next-state ref per register; self-ref = hold
+}
+
+func (c *symCircuit) gateBase() int32 { return int32(len(c.inputs) + len(c.regInit)) }
+func (c *symCircuit) regRef(r int) int32 {
+	return int32(len(c.inputs) + r)
+}
+
+// symBuilder appends normalized gates: constant operands fold into the
+// table, ignored operands drop, buffers alias, and structurally equal
+// gates share one ref (congruence closure, since operands are already
+// canonical).
+type symBuilder struct {
+	c      *symCircuit
+	strash map[symGate]int32
+}
+
+func newSymBuilder(c *symCircuit) *symBuilder {
+	return &symBuilder{c: c, strash: map[symGate]int32{}}
+}
+
+func (b *symBuilder) addGate(in [4]int32, tab uint16) int32 {
+	// Fold constant operands into the table, compacting the live ones
+	// down; k tracks the current position of the pin under inspection
+	// in the progressively collapsed table.
+	var used [4]int32
+	k := 0
+	for i := 0; i < 4; i++ {
+		switch in[i] {
+		case symConst0:
+			tab = collapseInput(tab, k, false)
+		case symConst1:
+			tab = collapseInput(tab, k, true)
+		default:
+			used[k] = in[i]
+			k++
+		}
+	}
+	tab = CanonTable(tab, k)
+	// Drop operands the table ignores.
+	for p := 0; p < k; {
+		if inputIgnored(tab, p) {
+			tab = collapseInput(tab, p, false)
+			copy(used[p:], used[p+1:k])
+			k--
+			tab = CanonTable(tab, k)
+		} else {
+			p++
+		}
+	}
+	if k == 0 {
+		if tab&1 != 0 {
+			return symConst1
+		}
+		return symConst0
+	}
+	if k == 1 && tab == 0xAAAA {
+		return used[0] // buffer
+	}
+	g := symGate{tab: tab}
+	copy(g.in[:], used[:k])
+	for i := k; i < 4; i++ {
+		g.in[i] = symConst0
+	}
+	if r, ok := b.strash[g]; ok {
+		return r
+	}
+	r := b.c.gateBase() + int32(len(b.c.gates))
+	b.c.gates = append(b.c.gates, g)
+	b.strash[g] = r
+	return r
+}
+
+// netlistSym lowers a structural netlist. Registers are the flip-flops
+// in index order — the same order Sim.FFState and Sim.LoadFFState use.
+func netlistSym(n *Netlist) (*symCircuit, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	c := &symCircuit{name: n.Name, stateLen: len(n.FFs)}
+	ref := make([]int32, n.NumNets)
+	for i := range ref {
+		ref[i] = symConst0 // unreadable without a driver (Validate)
+	}
+	for _, p := range n.Ports {
+		if p.Dir != DirIn {
+			continue
+		}
+		for bit, net := range p.Nets {
+			ref[net] = int32(len(c.inputs))
+			c.inputs = append(c.inputs, inKey{Port: p.Name, Bit: bit})
+		}
+	}
+	for i := range n.FFs {
+		ref[n.FFs[i].Q] = c.regRef(i)
+		c.regInit = append(c.regInit, n.FFs[i].Init)
+		c.regSlot = append(c.regSlot, i)
+	}
+	b := newSymBuilder(c)
+	for _, li := range order {
+		l := &n.LUTs[li]
+		var in [4]int32
+		for p := 0; p < 4; p++ {
+			if l.In[p] == NilNet {
+				in[p] = symConst0
+			} else {
+				in[p] = ref[l.In[p]]
+			}
+		}
+		ref[l.Out] = b.addGate(in, l.Table)
+	}
+	for _, p := range n.Ports {
+		if p.Dir != DirOut {
+			continue
+		}
+		for bit, net := range p.Nets {
+			c.outs = append(c.outs, outObl{key: inKey{Port: p.Name, Bit: bit}, ref: ref[net]})
+		}
+	}
+	for i := range n.FFs {
+		c.next = append(c.next, ref[n.FFs[i].D])
+	}
+	return c, nil
+}
+
+// configSym lowers an array configuration, mirroring PFU.Step exactly.
+// The boundary is the PFU protocol: inputs a[32] b[32] init[1], outputs
+// out[32] done[1]. Registers are the CLBs whose output wire is the
+// flip-flop (FlagOutFF): only those ffQ bits are observable, and the
+// state-frame slot is the CLB index. Next-state per register follows
+// the clock-edge dispatch of PFU.Step: pin-fed registers latch their
+// routed wire, LUT-fed registers latch the staged LUT value, registers
+// with no update path (including FlagFFUsed clear) hold.
+func configSym(cfg *ArrayConfig) (*symCircuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := levelizeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ncl := cfg.Spec.CLBs()
+	c := &symCircuit{name: "config", stateLen: ncl}
+	pfuBoundary(c)
+	regOf := make([]int32, ncl)
+	for i := range regOf {
+		regOf[i] = -1
+	}
+	for i := range cfg.CLBs {
+		if cfg.CLBs[i].Flags&FlagOutFF != 0 {
+			regOf[i] = int32(len(c.regInit))
+			c.regInit = append(c.regInit, cfg.CLBs[i].Flags&FlagFFInit != 0)
+			c.regSlot = append(c.regSlot, i)
+		}
+	}
+	gateOf := make([]int32, ncl)
+	for i := range gateOf {
+		gateOf[i] = symConst0
+	}
+	// wireRef resolves one biased routing select: input wires map to the
+	// identically ordered input refs; CLB wires expose the register for
+	// FF-driven outputs, the LUT gate for combinational outputs, and
+	// constant 0 for unused CLBs (their wire is never written).
+	wireRef := func(sel uint16) int32 {
+		if sel == 0 {
+			return symConst0
+		}
+		w := int(sel) - 1
+		if w < WireCLB0 {
+			return int32(w)
+		}
+		src := w - WireCLB0
+		cc := &cfg.CLBs[src]
+		switch {
+		case cc.Flags&FlagOutFF != 0:
+			return c.regRef(int(regOf[src]))
+		case cc.Flags&FlagLUTUsed != 0:
+			return gateOf[src]
+		default:
+			return symConst0
+		}
+	}
+	b := newSymBuilder(c)
+	for _, i := range order {
+		cc := &cfg.CLBs[i]
+		var in [4]int32
+		for p := 0; p < 4; p++ {
+			in[p] = wireRef(cc.InSel[p])
+		}
+		gateOf[i] = b.addGate(in, cc.Table)
+	}
+	for i, sel := range cfg.OutSel {
+		c.outs = append(c.outs, outObl{key: pfuOutKey(i), ref: wireRef(sel)})
+	}
+	c.next = make([]int32, len(c.regInit))
+	for i := range cfg.CLBs {
+		r := regOf[i]
+		if r < 0 {
+			continue
+		}
+		cc := &cfg.CLBs[i]
+		self := c.regRef(int(r))
+		switch {
+		case cc.Flags&FlagFFUsed == 0:
+			c.next[r] = self
+		case cc.Flags&FlagFFFromPin != 0:
+			c.next[r] = wireRef(cc.InSel[0])
+		case cc.Flags&FlagLUTUsed != 0:
+			c.next[r] = gateOf[i]
+		default:
+			c.next[r] = self
+		}
+	}
+	return c, nil
+}
+
+// compiledSym lowers a compiled program from its op lists, independent
+// of the configuration it came from — Verify proves the two lowerings
+// equal. The program is already validated and levelized, so this cannot
+// fail.
+func compiledSym(cp *Compiled) *symCircuit {
+	ncl := cp.spec.CLBs()
+	c := &symCircuit{name: "compiled", stateLen: ncl}
+	pfuBoundary(c)
+	regOf := make([]int32, ncl)
+	for i := range regOf {
+		regOf[i] = -1
+	}
+	for _, i := range cp.ffDrive {
+		regOf[i] = int32(len(c.regInit))
+		c.regInit = append(c.regInit, cp.ffInit[i] != 0)
+		c.regSlot = append(c.regSlot, int(i))
+	}
+	// wireVal mirrors the instance wire scratch: input wires carry the
+	// input refs, register-driven wires the register refs, everything
+	// else (including the dedicated constant wire) reads 0 until a comb
+	// op writes it.
+	wireVal := make([]int32, cp.nWires)
+	for i := range wireVal {
+		wireVal[i] = symConst0
+	}
+	for w := 0; w < WireCLB0; w++ {
+		wireVal[w] = int32(w)
+	}
+	for _, i := range cp.ffDrive {
+		wireVal[int32(WireCLB0)+i] = c.regRef(int(regOf[i]))
+	}
+	b := newSymBuilder(c)
+	for _, op := range cp.combOps {
+		var in [4]int32
+		for p := 0; p < 4; p++ {
+			in[p] = wireVal[op.in[p]]
+		}
+		wireVal[op.out] = b.addGate(in, op.tab)
+	}
+	// Staged D values, indexed by CLB like the ffNxt scratch; CLBs with
+	// no staging op latch the scratch's permanent zero.
+	stageVal := make([]int32, ncl)
+	for i := range stageVal {
+		stageVal[i] = symConst0
+	}
+	for _, op := range cp.stageOps {
+		var in [4]int32
+		for p := 0; p < 4; p++ {
+			in[p] = wireVal[op.in[p]]
+		}
+		stageVal[op.out] = b.addGate(in, op.tab)
+	}
+	for i, tap := range cp.outTap {
+		c.outs = append(c.outs, outObl{key: pfuOutKey(i), ref: wireVal[tap]})
+	}
+	c.next = make([]int32, len(c.regInit))
+	for r := range c.next {
+		c.next[r] = c.regRef(r) // hold unless an edge op drives it
+	}
+	for _, op := range cp.pinFF {
+		if r := regOf[op.q]; r >= 0 {
+			c.next[r] = wireVal[op.d]
+		}
+	}
+	for _, q := range cp.lutFFQ {
+		if r := regOf[q]; r >= 0 {
+			c.next[r] = stageVal[q]
+		}
+	}
+	return c
+}
+
+// pfuBoundary installs the PFU protocol input keys: a[0..31], b[0..31],
+// init — in exactly the wire-enumeration order, so input wire w is
+// input ref w.
+func pfuBoundary(c *symCircuit) {
+	for bit := 0; bit < 32; bit++ {
+		c.inputs = append(c.inputs, inKey{Port: "a", Bit: bit})
+	}
+	for bit := 0; bit < 32; bit++ {
+		c.inputs = append(c.inputs, inKey{Port: "b", Bit: bit})
+	}
+	c.inputs = append(c.inputs, inKey{Port: "init", Bit: 0})
+}
+
+func pfuOutKey(i int) inKey {
+	if i == 32 {
+		return inKey{Port: "done", Bit: 0}
+	}
+	return inKey{Port: "out", Bit: i}
+}
+
+// EquivReport is the result of one equivalence proof.
+type EquivReport struct {
+	A, B       string
+	Equivalent bool
+	Outputs    int // output obligations compared
+	Registers  int // registers across both sides
+	Classes    int // correspondence classes at the fixpoint
+	Rounds     int // refinement rounds (1 for combinational circuits)
+	Nodes      int // peak BDD nodes over all rounds
+	Exhaustive int // obligations proved by exhaustive enumeration
+	// Counterexample is non-nil iff Equivalent is false.
+	Counterexample *Counterexample
+}
+
+func (r *EquivReport) String() string {
+	if r.Equivalent {
+		return fmt.Sprintf("equiv %s vs %s: EQUIVALENT (%d outputs, %d registers in %d classes, %d rounds, %d BDD nodes, %d exhaustive)",
+			r.A, r.B, r.Outputs, r.Registers, r.Classes, r.Rounds, r.Nodes, r.Exhaustive)
+	}
+	return fmt.Sprintf("equiv %s vs %s: NOT EQUIVALENT: %s", r.A, r.B, r.Counterexample)
+}
+
+// Counterexample is one concrete input vector and state pair under
+// which the two circuits disagree on the named output bit. States are
+// full state frames in each side's native layout (Sim FF order, or one
+// bit per CLB), so they load directly via LoadFFState / LoadState; the
+// disagreement shows in the same cycle's sampled outputs. For
+// sequential circuits the state respects the proven register
+// correspondence but may be unreachable from reset (see package
+// comment).
+type Counterexample struct {
+	Port   string
+	Bit    int
+	Inputs map[string]uint64 // input port -> bit vector
+	StateA []bool
+	StateB []bool
+	OutA   bool
+	OutB   bool
+}
+
+func (ce *Counterexample) String() string {
+	ports := make([]string, 0, len(ce.Inputs))
+	//lint:nondeterministic keys are sorted before rendering
+	for p := range ce.Inputs {
+		ports = append(ports, p)
+	}
+	sort.Strings(ports)
+	s := fmt.Sprintf("%s[%d]: A=%v B=%v under", ce.Port, ce.Bit, ce.OutA, ce.OutB)
+	for _, p := range ports {
+		s += fmt.Sprintf(" %s=%#x", p, ce.Inputs[p])
+	}
+	return s
+}
+
+// proveOpts bounds one proof; tests shrink the limits to exercise the
+// fallback paths.
+type proveOpts struct {
+	nodeLimit int // BDD node budget per round
+	exhMax    int // max support size for exhaustive enumeration
+}
+
+var defaultProveOpts = proveOpts{nodeLimit: 1 << 21, exhMax: 12}
+
+// Equiv proves two netlists equivalent: same input/output port bits,
+// same observable behaviour from corresponding initial states, under
+// the natural FF-by-FF register correspondence. A nil error with
+// Equivalent false carries a concrete counterexample; errors report
+// circuits the method cannot decide (boundary mismatch, BDD blowup on
+// sequential logic).
+func Equiv(a, b *Netlist) (*EquivReport, error) {
+	sa, err := netlistSym(a)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := netlistSym(b)
+	if err != nil {
+		return nil, err
+	}
+	return prove(sa, sb, defaultProveOpts)
+}
+
+// EquivConfig proves a placed configuration equivalent to a PFU-shaped
+// netlist (ports a[32], b[32], init[1], out[32], done[1]) — the
+// Place/Encode/Decode pipeline preserved the circuit.
+func EquivConfig(cfg *ArrayConfig, n *Netlist) (*EquivReport, error) {
+	sa, err := configSym(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := netlistSym(n)
+	if err != nil {
+		return nil, err
+	}
+	return prove(sa, sb, defaultProveOpts)
+}
+
+// Verify proves the compiled program equivalent to a configuration:
+// the lowered op lists implement exactly the interpretive PFU semantics
+// of cfg. Compile's own output trivially corresponds register-for-
+// register, so this is a full proof, not a sample.
+func (c *Compiled) Verify(cfg *ArrayConfig) (*EquivReport, error) {
+	if c.spec != cfg.Spec {
+		return nil, fmt.Errorf("fabric: Verify: program spec %dx%d does not match config spec %dx%d",
+			c.spec.W, c.spec.H, cfg.Spec.W, cfg.Spec.H)
+	}
+	sb, err := configSym(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return prove(compiledSym(c), sb, defaultProveOpts)
+}
+
+// OptimizeChecked optimizes n in place like Optimize and then proves
+// the result equivalent to the original, returning the removed element
+// count and the proof. A failed proof returns the report (with its
+// counterexample) and a non-nil error; n is left in its optimized
+// state.
+func OptimizeChecked(n *Netlist) (int, *EquivReport, error) {
+	orig := n.Clone()
+	removed := Optimize(n)
+	rep, err := Equiv(orig, n)
+	if err != nil {
+		return removed, nil, fmt.Errorf("fabric: OptimizeChecked %q: %w", n.Name, err)
+	}
+	if !rep.Equivalent {
+		return removed, rep, fmt.Errorf("fabric: Optimize changed behaviour of %q: %s", n.Name, rep.Counterexample)
+	}
+	return removed, rep, nil
+}
+
+// obligation pairs one output bit across the two sides.
+type obligation struct {
+	key        inKey
+	aRef, bRef int32
+}
+
+// prove runs the equivalence engine over two symbolic circuits.
+func prove(a, b *symCircuit, opts proveOpts) (*EquivReport, error) {
+	rep := &EquivReport{A: a.name, B: b.name}
+	// Boundary matching: identical input and output key sets. Globals
+	// are indexed in A's declaration order.
+	keys := a.inputs
+	nIn := len(keys)
+	inIdx := make(map[inKey]int32, nIn)
+	for i, k := range keys {
+		inIdx[k] = int32(i)
+	}
+	if len(b.inputs) != nIn {
+		return nil, fmt.Errorf("fabric: equiv %s vs %s: input boundaries differ (%d vs %d bits)", a.name, b.name, nIn, len(b.inputs))
+	}
+	bInG := make([]int32, len(b.inputs))
+	for i, k := range b.inputs {
+		g, ok := inIdx[k]
+		if !ok {
+			return nil, fmt.Errorf("fabric: equiv %s vs %s: input %s only on one side", a.name, b.name, k)
+		}
+		bInG[i] = g
+	}
+	aInG := make([]int32, nIn)
+	for i := range aInG {
+		aInG[i] = int32(i)
+	}
+	bOut := make(map[inKey]int32, len(b.outs))
+	for _, o := range b.outs {
+		bOut[o.key] = o.ref
+	}
+	if len(b.outs) != len(a.outs) {
+		return nil, fmt.Errorf("fabric: equiv %s vs %s: output boundaries differ (%d vs %d bits)", a.name, b.name, len(a.outs), len(b.outs))
+	}
+	obls := make([]obligation, 0, len(a.outs))
+	for _, o := range a.outs {
+		ref, ok := bOut[o.key]
+		if !ok {
+			return nil, fmt.Errorf("fabric: equiv %s vs %s: output %s only on one side", a.name, b.name, o.key)
+		}
+		obls = append(obls, obligation{key: o.key, aRef: o.ref, bRef: ref})
+	}
+	rep.Outputs = len(obls)
+
+	outA, outB := neededGates(a, false), neededGates(b, false)
+	neededA := neededGates(a, true)
+	neededB := neededGates(b, true)
+	depthA := gateDepths(a)
+	depthB := gateDepths(b)
+
+	// Register classes over the combined register space, A's first,
+	// seeded by initial value (class-mates must start equal).
+	nRegA := len(a.regInit)
+	nReg := nRegA + len(b.regInit)
+	rep.Registers = nReg
+	cls := make([]int32, nReg)
+	nClass := 0
+	initID := [2]int32{-1, -1}
+	for i := 0; i < nReg; i++ {
+		var iv bool
+		if i < nRegA {
+			iv = a.regInit[i]
+		} else {
+			iv = b.regInit[i-nRegA]
+		}
+		bit := 0
+		if iv {
+			bit = 1
+		}
+		if initID[bit] < 0 {
+			initID[bit] = int32(nClass)
+			nClass++
+		}
+		cls[i] = initID[bit]
+	}
+
+	for {
+		res, overflow := proveRound(a, b, aInG, bInG, cls, nClass, nIn, outA, outB, neededA, neededB, depthA, depthB, obls, opts)
+		if overflow {
+			if nReg == 0 {
+				return proveExhaustive(a, b, keys, aInG, bInG, obls, rep, opts.exhMax)
+			}
+			return nil, fmt.Errorf("fabric: equiv %s vs %s: BDD node limit (%d) exceeded on sequential logic; no exhaustive fallback",
+				a.name, b.name, opts.nodeLimit)
+		}
+		rep.Rounds++
+		if res.nodes > rep.Nodes {
+			rep.Nodes = res.nodes
+		}
+		if res.done {
+			rep.Classes = nClass
+			rep.Equivalent = res.ce == nil
+			rep.Counterexample = res.ce
+			return rep, nil
+		}
+		cls, nClass = res.cls, res.nClass
+		if rep.Rounds > nReg+1 {
+			return nil, fmt.Errorf("fabric: equiv %s vs %s: refinement did not converge", a.name, b.name)
+		}
+	}
+}
+
+// roundResult carries one refinement round's outcome.
+type roundResult struct {
+	done   bool
+	cls    []int32
+	nClass int
+	nodes  int
+	ce     *Counterexample
+}
+
+// proveRound builds one round's output-cone BDDs and compares the
+// obligations under the current register partition, then builds the
+// next-state BDDs and refines the partition. Checking the outputs first
+// is sound at every round, not just the fixpoint: a coarser partition
+// only restricts the expressible states (class-mates forced equal), so
+// any distinguishing assignment it yields is a concrete state pair on
+// which the circuits genuinely differ — and it makes inequivalent
+// sequential circuits fail fast, before the (often much larger)
+// next-state functions are ever built. Equivalence is still only
+// concluded once the partition is inductive. overflow reports that the
+// node limit was hit.
+func proveRound(a, b *symCircuit, aInG, bInG, cls []int32, nClass, nIn int, outA, outB, neededA, neededB []bool, depthA, depthB []int32, obls []obligation, opts proveOpts) (res roundResult, overflow bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bddLimitError); ok {
+				overflow = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	nRegA := len(a.regInit)
+	clsA, clsB := cls[:nRegA], cls[nRegA:]
+	rank := varOrder(a, b, aInG, bInG, clsA, clsB, nIn, nClass, depthA, depthB)
+	m := newBDDManager(opts.nodeLimit)
+	valsA := buildSide(m, a, aInG, clsA, rank, nIn, outA)
+	valsB := buildSide(m, b, bInG, clsB, rank, nIn, outB)
+	for _, o := range obls {
+		fa := refBDD(valsA, o.aRef)
+		fb := refBDD(valsB, o.bRef)
+		if fa == fb {
+			continue
+		}
+		// satOne fills the assignment by BDD rank; undo the ordering
+		// permutation so buildCE can index by global variable id.
+		byRank := make([]int8, nIn+nClass)
+		m.satOne(m.xor(fa, fb), byRank)
+		assign := make([]int8, nIn+nClass)
+		for v := range assign {
+			assign[v] = byRank[rank[v]]
+		}
+		res.done = true
+		res.ce = buildCE(a, b, o, a.inputs, aInG, bInG, clsA, clsB, nIn, assign)
+		res.nodes = len(m.nodes)
+		return res, false
+	}
+	buildGates(m, a, valsA, neededA, outA)
+	buildGates(m, b, valsB, neededB, outB)
+
+	// Refine: split classes by (old class, canonical next-state ref).
+	nReg := len(cls)
+	newCls := make([]int32, nReg)
+	sig := make(map[[2]int32]int32, nReg)
+	var n int32
+	for i := 0; i < nReg; i++ {
+		var nx bddRef
+		if i < nRegA {
+			nx = refBDD(valsA, a.next[i])
+		} else {
+			nx = refBDD(valsB, b.next[i-nRegA])
+		}
+		k := [2]int32{cls[i], int32(nx)}
+		id, ok := sig[k]
+		if !ok {
+			id = n
+			n++
+			sig[k] = id
+		}
+		newCls[i] = id
+	}
+	res.nodes = len(m.nodes)
+	if int(n) != nClass {
+		// Split happened: refinement only splits, so a changed count
+		// means a changed partition; go again with the finer classes.
+		res.cls, res.nClass = newCls, int(n)
+		return res, false
+	}
+	// Fixpoint: the partition is inductive, and the obligations already
+	// passed at the top of this round under exactly this partition —
+	// equivalence is proved.
+	res.done = true
+	return res, false
+}
+
+// refBDD resolves an operand ref against a side's value array.
+func refBDD(vals []bddRef, ref int32) bddRef {
+	switch ref {
+	case symConst0:
+		return bddFalse
+	case symConst1:
+		return bddTrue
+	}
+	return vals[ref]
+}
+
+// buildSide seeds one circuit's leaf values — input and register
+// variables under the shared ranks and classes — and builds the gates
+// marked in needed. More gates can be added later with buildGates.
+func buildSide(m *bddManager, c *symCircuit, inG []int32, cls []int32, rank []int32, nIn int, needed []bool) []bddRef {
+	vals := make([]bddRef, int(c.gateBase())+len(c.gates))
+	for i := range c.inputs {
+		vals[i] = m.varNode(rank[inG[i]])
+	}
+	for r := range c.regInit {
+		vals[c.regRef(r)] = m.varNode(rank[nIn+int(cls[r])])
+	}
+	buildGates(m, c, vals, needed, nil)
+	return vals
+}
+
+// buildGates builds the gates marked in needed, skipping any already
+// built in an earlier pass (marked in done).
+func buildGates(m *bddManager, c *symCircuit, vals []bddRef, needed, done []bool) {
+	base := int(c.gateBase())
+	for g := range c.gates {
+		if !needed[g] || (done != nil && done[g]) {
+			continue
+		}
+		gt := &c.gates[g]
+		var in [4]bddRef
+		for p := 0; p < 4; p++ {
+			in[p] = refBDD(vals, gt.in[p])
+		}
+		vals[base+g] = m.lutBDD(gt.tab, in)
+	}
+}
+
+// neededGates marks the gates reachable backwards from any output — and,
+// with withNext, any next-state ref — so dead cones cost no BDD nodes
+// and the cheap output cones can be built before the next-state logic.
+func neededGates(c *symCircuit, withNext bool) []bool {
+	needed := make([]bool, len(c.gates))
+	base := c.gateBase()
+	seed := func(ref int32) {
+		if ref >= base {
+			needed[ref-base] = true
+		}
+	}
+	for _, o := range c.outs {
+		seed(o.ref)
+	}
+	if withNext {
+		for _, nx := range c.next {
+			seed(nx)
+		}
+	}
+	for g := len(c.gates) - 1; g >= 0; g-- {
+		if !needed[g] {
+			continue
+		}
+		for _, in := range c.gates[g].in {
+			seed(in)
+		}
+	}
+	return needed
+}
+
+// gateDepths computes per-gate cone depth, the guide for the variable
+// ordering heuristic.
+func gateDepths(c *symCircuit) []int32 {
+	depth := make([]int32, len(c.gates))
+	base := c.gateBase()
+	for g := range c.gates {
+		var d int32
+		for _, in := range c.gates[g].in {
+			if in >= base {
+				if dd := depth[in-base] + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		depth[g] = d
+	}
+	return depth
+}
+
+// varOrder assigns every BDD variable — one per input key, one per
+// register class — a rank by a depth-guided DFS preorder over both
+// circuits' cones: from each output (then next-state function), explore
+// the shallowest fanin cone first. Shallow-first exploration ranks
+// control ahead of data (a barrel shifter's select bits come before the
+// shifted word, keeping its BDDs linear) and walking outputs LSB-first
+// interleaves adder operands (a[0] b[0] a[1] b[1] …), the order under
+// which ripple carries stay linear.
+func varOrder(a, b *symCircuit, aInG, bInG, clsA, clsB []int32, nIn, nClass int, depthA, depthB []int32) []int32 {
+	rank := make([]int32, nIn+nClass)
+	for i := range rank {
+		rank[i] = -1
+	}
+	var next int32
+	assign := func(v int32) {
+		if rank[v] == -1 {
+			rank[v] = next
+			next++
+		}
+	}
+	refDepth := func(c *symCircuit, depth []int32, ref int32) int32 {
+		if ref >= c.gateBase() {
+			return depth[ref-c.gateBase()] + 1
+		}
+		return 0
+	}
+	visitSide := func(c *symCircuit, inG, cls, depth []int32) {
+		base := c.gateBase()
+		seen := make([]bool, len(c.gates))
+		var stack []int32
+		walk := func(root int32) {
+			if root < 0 {
+				return
+			}
+			stack = append(stack[:0], root)
+			for len(stack) > 0 {
+				ref := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				switch {
+				case ref < 0:
+					// constant
+				case ref < int32(len(c.inputs)):
+					assign(inG[ref])
+				case ref < base:
+					assign(int32(nIn) + cls[ref-int32(len(c.inputs))])
+				default:
+					g := ref - base
+					if seen[g] {
+						continue
+					}
+					seen[g] = true
+					// Push pins deepest first so the shallowest pops
+					// (and is explored) first; ties keep pin order.
+					type pin struct {
+						ref int32
+						d   int32
+					}
+					var pins [4]pin
+					np := 0
+					for p := 0; p < 4; p++ {
+						in := c.gates[g].in[p]
+						if in == symConst0 || in == symConst1 {
+							continue
+						}
+						pins[np] = pin{ref: in, d: refDepth(c, depth, in)}
+						np++
+					}
+					sort.SliceStable(pins[:np], func(i, j int) bool { return pins[i].d > pins[j].d })
+					for p := 0; p < np; p++ {
+						stack = append(stack, pins[p].ref)
+					}
+				}
+			}
+		}
+		for _, o := range c.outs {
+			walk(o.ref)
+		}
+		for _, nx := range c.next {
+			walk(nx)
+		}
+	}
+	visitSide(a, aInG, clsA, depthA)
+	visitSide(b, bInG, clsB, depthB)
+	for v := range rank {
+		if rank[v] == -1 {
+			rank[v] = next
+			next++
+		}
+	}
+	return rank
+}
+
+// buildCE turns a satisfying assignment of an output XOR into a
+// concrete counterexample, re-evaluating both circuits concretely so
+// the reported output values come from the gate-level semantics, not
+// the BDDs.
+func buildCE(a, b *symCircuit, o obligation, keys []inKey, aInG, bInG, clsA, clsB []int32, nIn int, assign []int8) *Counterexample {
+	ce := &Counterexample{Port: o.key.Port, Bit: o.key.Bit, Inputs: map[string]uint64{}}
+	for g, k := range keys {
+		v := ce.Inputs[k.Port]
+		if assign[g] == 2 {
+			v |= 1 << k.Bit
+		}
+		ce.Inputs[k.Port] = v
+	}
+	side := func(c *symCircuit, inG, cls []int32, ref int32) ([]bool, bool) {
+		inVal := make([]bool, len(c.inputs))
+		for i := range inVal {
+			inVal[i] = assign[inG[i]] == 2
+		}
+		regVal := make([]bool, len(c.regInit))
+		for r := range regVal {
+			regVal[r] = assign[nIn+int(cls[r])] == 2
+		}
+		st := make([]bool, c.stateLen)
+		for r, slot := range c.regSlot {
+			st[slot] = regVal[r]
+		}
+		return st, evalRef(c, inVal, regVal, ref)
+	}
+	ce.StateA, ce.OutA = side(a, aInG, clsA, o.aRef)
+	ce.StateB, ce.OutB = side(b, bInG, clsB, o.bRef)
+	return ce
+}
+
+// evalRef evaluates one ref concretely under an input and register
+// assignment by a full forward pass over the gate list.
+func evalRef(c *symCircuit, inVal, regVal []bool, ref int32) bool {
+	vals := make([]bool, int(c.gateBase())+len(c.gates))
+	copy(vals, inVal)
+	copy(vals[len(c.inputs):], regVal)
+	base := int(c.gateBase())
+	for g := range c.gates {
+		gt := &c.gates[g]
+		idx := 0
+		for p := 0; p < 4; p++ {
+			if refBool(vals, gt.in[p]) {
+				idx |= 1 << p
+			}
+		}
+		vals[base+g] = gt.tab>>idx&1 != 0
+	}
+	return refBool(vals, ref)
+}
+
+func refBool(vals []bool, ref int32) bool {
+	switch ref {
+	case symConst0:
+		return false
+	case symConst1:
+		return true
+	}
+	return vals[ref]
+}
+
+// proveExhaustive decides combinational obligations by enumerating the
+// structural support when the BDDs blew past the node limit — the
+// "small cones" fallback: sound and complete, but only affordable when
+// each obligation depends on few input bits.
+func proveExhaustive(a, b *symCircuit, keys []inKey, aInG, bInG []int32, obls []obligation, rep *EquivReport, exhMax int) (*EquivReport, error) {
+	nIn := len(keys)
+	for _, o := range obls {
+		sup := make([]bool, nIn)
+		inputSupport(a, aInG, o.aRef, sup)
+		inputSupport(b, bInG, o.bRef, sup)
+		var vars []int32
+		for g := 0; g < nIn; g++ {
+			if sup[g] {
+				vars = append(vars, int32(g))
+			}
+		}
+		if len(vars) > exhMax {
+			return nil, fmt.Errorf("fabric: equiv %s vs %s: output %s has no small BDD and support %d exceeds the exhaustive limit %d",
+				a.name, b.name, o.key, len(vars), exhMax)
+		}
+		inValA := make([]bool, len(a.inputs))
+		inValB := make([]bool, len(b.inputs))
+		for bits := 0; bits < 1<<len(vars); bits++ {
+			assign := make([]int8, nIn)
+			for j, g := range vars {
+				if bits>>j&1 != 0 {
+					assign[g] = 2
+				} else {
+					assign[g] = 1
+				}
+			}
+			for i := range a.inputs {
+				inValA[i] = assign[aInG[i]] == 2
+			}
+			for i := range b.inputs {
+				inValB[i] = assign[bInG[i]] == 2
+			}
+			oa := evalRef(a, inValA, nil, o.aRef)
+			ob := evalRef(b, inValB, nil, o.bRef)
+			if oa != ob {
+				rep.Equivalent = false
+				rep.Counterexample = buildCE(a, b, o, keys, aInG, bInG, nil, nil, nIn, assign)
+				return rep, nil
+			}
+		}
+		rep.Exhaustive++
+	}
+	rep.Equivalent = true
+	return rep, nil
+}
+
+// inputSupport marks (in global input indices) the inputs reachable
+// backwards from ref.
+func inputSupport(c *symCircuit, inG []int32, ref int32, sup []bool) {
+	base := c.gateBase()
+	needed := make([]bool, len(c.gates))
+	mark := func(r int32) {
+		switch {
+		case r < 0:
+		case r < int32(len(c.inputs)):
+			sup[inG[r]] = true
+		case r >= base:
+			needed[r-base] = true
+		}
+	}
+	mark(ref)
+	for g := len(c.gates) - 1; g >= 0; g-- {
+		if !needed[g] {
+			continue
+		}
+		for _, in := range c.gates[g].in {
+			mark(in)
+		}
+	}
+}

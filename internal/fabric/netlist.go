@@ -436,18 +436,11 @@ func optimizePass(n *Netlist) int {
 				i--
 			}
 		}
-		// Canonicalise: if table ignores an input, remove it.
-		for i := 0; i < 4; i++ {
-			if ins[i] == NilNet {
-				continue
-			}
-			if inputIgnored(tbl, i) {
-				tbl = collapseInput(tbl, i, false)
-				copy(ins[i:], ins[i+1:])
-				ins[3] = NilNet
-				i--
-			}
-		}
+		// Canonicalise the table over the used positions before testing
+		// for ignored inputs: source netlists may carry arbitrary bits in
+		// the unused upper table half, which would make a genuinely
+		// ignored input look live on this pass and only fall on the next
+		// one — Optimize must reach its fixpoint in a single call.
 		used := 0
 		for _, in := range ins {
 			if in != NilNet {
@@ -455,6 +448,19 @@ func optimizePass(n *Netlist) int {
 			}
 		}
 		tbl = CanonTable(tbl, used)
+		// If the table ignores an input, remove it (re-canonicalising:
+		// collapseInput leaves the upper half unreplicated).
+		for i := 0; i < used; {
+			if inputIgnored(tbl, i) {
+				tbl = collapseInput(tbl, i, false)
+				copy(ins[i:], ins[i+1:])
+				ins[3] = NilNet
+				used--
+				tbl = CanonTable(tbl, used)
+			} else {
+				i++
+			}
+		}
 		l.In = ins
 		l.Table = tbl
 		switch {
@@ -565,6 +571,23 @@ func inputIgnored(tbl uint16, i int) bool {
 // isBufferTable reports whether the LUT is a single-input identity.
 func isBufferTable(tbl uint16, ins [4]Net) bool {
 	return ins[0] != NilNet && ins[1] == NilNet && tbl == 0xAAAA
+}
+
+// Clone returns a deep copy sharing no mutable state with n, so the
+// original survives in-place transforms (OptimizeChecked proves the
+// optimized netlist against a clone of its input).
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{
+		Name:    n.Name,
+		NumNets: n.NumNets,
+		Ports:   make([]Port, len(n.Ports)),
+		LUTs:    append([]LUT(nil), n.LUTs...),
+		FFs:     append([]FF(nil), n.FFs...),
+	}
+	for i, p := range n.Ports {
+		c.Ports[i] = Port{Name: p.Name, Dir: p.Dir, Nets: append([]Net(nil), p.Nets...)}
+	}
+	return c
 }
 
 // SortPorts orders ports by name for deterministic serialisation.

@@ -177,8 +177,11 @@ func TestInputIgnored(t *testing.T) {
 	}
 }
 
-// TestOptimizePreservesBehaviour checks every stock circuit behaves
-// identically before and after optimisation, over random stimulus.
+// TestOptimizePreservesBehaviour proves — not samples — that every
+// stock circuit behaves identically before and after optimisation, by
+// running the optimizer in its self-checking mode. A quick protocol
+// simulation on the optimized netlist stays as a sanity check that the
+// proof and the simulator agree about what "behaviour" means.
 func TestOptimizePreservesBehaviour(t *testing.T) {
 	circuits := []func() *Netlist{
 		Passthrough32, Xor32, Adder32, Popcount32, CRC32Step, SatAdd16,
@@ -188,7 +191,13 @@ func TestOptimizePreservesBehaviour(t *testing.T) {
 	for _, mk := range circuits {
 		ref := mk()
 		opt := mk()
-		removed := Optimize(opt)
+		removed, rep, err := OptimizeChecked(opt)
+		if err != nil {
+			t.Fatalf("%s: OptimizeChecked: %v", ref.Name, err)
+		}
+		if !rep.Equivalent {
+			t.Fatalf("%s: optimize proof failed: %s", ref.Name, rep)
+		}
 		if err := opt.Validate(); err != nil {
 			t.Fatalf("%s: optimized netlist invalid: %v", ref.Name, err)
 		}
@@ -203,7 +212,7 @@ func TestOptimizePreservesBehaviour(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s optimized: %v", ref.Name, err)
 		}
-		for trial := 0; trial < 25; trial++ {
+		for trial := 0; trial < 5; trial++ {
 			a, b := rng.Uint32(), rng.Uint32()
 			outA, cycA := runProtocolSim(t, simA, a, b, 64)
 			outB, cycB := runProtocolSim(t, simB, a, b, 64)
@@ -212,6 +221,71 @@ func TestOptimizePreservesBehaviour(t *testing.T) {
 					ref.Name, a, b, outA, cycA, outB, cycB)
 			}
 		}
+	}
+}
+
+// sameNetlist compares two netlists structurally, treating nil and
+// empty slices alike (Clone normalizes empty slices to nil, which
+// reflect.DeepEqual would count as a difference).
+func sameNetlist(a, b *Netlist) bool {
+	if a.Name != b.Name || a.NumNets != b.NumNets ||
+		len(a.Ports) != len(b.Ports) || len(a.LUTs) != len(b.LUTs) || len(a.FFs) != len(b.FFs) {
+		return false
+	}
+	for i := range a.Ports {
+		pa, pb := &a.Ports[i], &b.Ports[i]
+		if pa.Name != pb.Name || pa.Dir != pb.Dir || len(pa.Nets) != len(pb.Nets) {
+			return false
+		}
+		for j := range pa.Nets {
+			if pa.Nets[j] != pb.Nets[j] {
+				return false
+			}
+		}
+	}
+	for i := range a.LUTs {
+		if a.LUTs[i] != b.LUTs[i] {
+			return false
+		}
+	}
+	for i := range a.FFs {
+		if a.FFs[i] != b.FFs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOptimizeIdempotent pins down that Optimize is a fixpoint after
+// one application: a second pass removes nothing and leaves the netlist
+// bit-for-bit unchanged, over the stock library and two families of
+// random netlists.
+func TestOptimizeIdempotent(t *testing.T) {
+	check := func(t *testing.T, n *Netlist) {
+		t.Helper()
+		Optimize(n)
+		before := n.Clone()
+		removed := Optimize(n)
+		if removed != 0 {
+			t.Fatalf("%s: second Optimize removed %d elements", n.Name, removed)
+		}
+		if !sameNetlist(before, n) {
+			t.Fatalf("%s: second Optimize mutated the netlist", n.Name)
+		}
+	}
+	for _, mk := range []func() *Netlist{
+		Passthrough32, Xor32, Adder32, Popcount32, CRC32Step, SatAdd16,
+		SeqMul16, AlphaBlend, BarrelShift32, LFSR32,
+	} {
+		check(t, mk())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n, _ := randomCircuit(rng, 40, 8)
+		check(t, n)
+	}
+	for trial := 0; trial < 50; trial++ {
+		check(t, genSmall(rng, 1+rng.Intn(8), 2+rng.Intn(14), rng.Intn(5), 1+rng.Intn(6)))
 	}
 }
 

@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+func placeStock(t *testing.T, mk func() *Netlist) (*ArrayConfig, *Netlist) {
+	t.Helper()
+	n := mk()
+	Optimize(n)
+	cfg, _, err := Place(n, DefaultPFUSpec)
+	if err != nil {
+		t.Fatalf("%s: place: %v", n.Name, err)
+	}
+	return cfg, n
+}
+
+// TestTimingMatchesLintDepth pins the acceptance criterion: the timing
+// analyzer's critical depth agrees with the lint levelizer's depth on
+// every stock circuit — the two analyses share one delay model.
+func TestTimingMatchesLintDepth(t *testing.T) {
+	for _, mk := range equivStock {
+		cfg, n := placeStock(t, mk)
+		rep, err := Timing(cfg)
+		if err != nil {
+			t.Fatalf("%s: Timing: %v", n.Name, err)
+		}
+		lrep, err := LintConfig(cfg)
+		if err != nil {
+			t.Fatalf("%s: LintConfig: %v", n.Name, err)
+		}
+		if rep.MaxDepth != lrep.Stats.Depth {
+			t.Fatalf("%s: Timing depth %d, lint depth %d", n.Name, rep.MaxDepth, lrep.Stats.Depth)
+		}
+	}
+}
+
+// TestTimingPathsAreWellFormed checks structural invariants of every
+// endpoint report on the stock library: path length equals depth, each
+// hop is a used combinational LUT actually routed into the next, slack
+// is consistent, and the histogram accounts for every used LUT.
+func TestTimingPathsAreWellFormed(t *testing.T) {
+	for _, mk := range equivStock {
+		cfg, n := placeStock(t, mk)
+		rep, err := Timing(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		total := 0
+		for _, c := range rep.Histogram {
+			total += c
+		}
+		if total != rep.LUTs {
+			t.Fatalf("%s: histogram sums to %d, %d used LUTs", n.Name, total, rep.LUTs)
+		}
+		if len(rep.Histogram) != rep.MaxDepth+1 {
+			t.Fatalf("%s: histogram has %d buckets for depth %d", n.Name, len(rep.Histogram), rep.MaxDepth)
+		}
+		sawFullDepth := false
+		for _, p := range rep.Endpoints {
+			if p.Slack != rep.MaxDepth-p.Depth {
+				t.Fatalf("%s %s: slack %d, want %d", n.Name, p.Endpoint(), p.Slack, rep.MaxDepth-p.Depth)
+			}
+			if p.Depth == rep.MaxDepth {
+				sawFullDepth = true
+			}
+			if len(p.Path) != p.Depth {
+				t.Fatalf("%s %s: path %v has %d elements for depth %d", n.Name, p.Endpoint(), p.Path, len(p.Path), p.Depth)
+			}
+			for i, clb := range p.Path {
+				c := &cfg.CLBs[clb]
+				if c.Flags&FlagLUTUsed == 0 {
+					t.Fatalf("%s %s: path element CLB %d has no LUT", n.Name, p.Endpoint(), clb)
+				}
+				if i == len(p.Path)-1 {
+					continue
+				}
+				if c.Flags&FlagOutFF != 0 {
+					t.Fatalf("%s %s: non-terminal path element CLB %d is registered", n.Name, p.Endpoint(), clb)
+				}
+				next := &cfg.CLBs[p.Path[i+1]]
+				routed := false
+				for pin := 0; pin < 4; pin++ {
+					if int(next.InSel[pin])-1 == WireCLB0+clb {
+						routed = true
+					}
+				}
+				if !routed {
+					t.Fatalf("%s %s: CLB %d does not feed CLB %d on the reported path", n.Name, p.Endpoint(), clb, p.Path[i+1])
+				}
+			}
+		}
+		if rep.MaxDepth > 0 && !sawFullDepth && len(rep.Endpoints) > 0 {
+			// The deepest LUT need not reach an endpoint (it may drive
+			// nothing observable), so only sanity-check Critical here.
+			if crit := rep.Critical(); crit == nil {
+				t.Fatalf("%s: endpoints exist but Critical is nil", n.Name)
+			}
+		}
+	}
+}
+
+// TestTimingRejectsCycle: a configuration with a combinational loop has
+// no static delay and must be rejected with the levelizer's error.
+func TestTimingRejectsCycle(t *testing.T) {
+	cfg := NewArrayConfig(DefaultPFUSpec)
+	// CLB 0 and CLB 1 read each other's combinational outputs.
+	cfg.CLBs[0] = CLBConfig{Flags: FlagLUTUsed, InSel: [4]uint16{uint16(WireCLB0+1) + 1}, Table: 0x5555}
+	cfg.CLBs[1] = CLBConfig{Flags: FlagLUTUsed, InSel: [4]uint16{uint16(WireCLB0+0) + 1}, Table: 0x5555}
+	if _, err := Timing(cfg); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+// TestTimingString smoke-checks the report rendering carries the
+// critical path trail.
+func TestTimingString(t *testing.T) {
+	cfg, _ := placeStock(t, Adder32)
+	rep, err := Timing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "depth") || !strings.Contains(s, "critical") || !strings.Contains(s, "CLB") {
+		t.Fatalf("report rendering missing expected fields:\n%s", s)
+	}
+}

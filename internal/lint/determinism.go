@@ -34,8 +34,9 @@ func NewDeterminism(bound []string) *analysis.Analyzer {
 	}
 	a := &analysis.Analyzer{
 		Name: "determinism",
-		Doc: "forbid time.Now, global math/rand, and map iteration in packages\n" +
-			"whose output must be byte-identical (waive with //lint:nondeterministic)",
+		Doc: "forbid time.Now, global math/rand, map iteration, and multi-way\n" +
+			"select in packages whose output must be byte-identical (waive\n" +
+			"with //lint:nondeterministic)",
 	}
 	a.Run = func(pass *analysis.Pass) (any, error) {
 		if !set[pass.Pkg.Path()] {
@@ -87,6 +88,20 @@ func runDeterminism(pass *analysis.Pass) {
 							pass.Reportf(n.Pos(), "call to global %s.%s in deterministic package %s", funcPkgPath(fn), fn.Name(), pass.Pkg.Path())
 						}
 					}
+				}
+			case *ast.SelectStmt:
+				// A select with two or more ready communication cases
+				// picks one pseudo-randomly; under replay-diffing that is
+				// a divergence seed just like map order. One case (plus
+				// an optional default) is a plain poll and fine.
+				comm := 0
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 && !wv.ok(n.Pos(), marker) {
+					pass.Reportf(n.Pos(), "select with %d communication cases chooses nondeterministically in deterministic package %s; restructure or waive", comm, pass.Pkg.Path())
 				}
 			case *ast.RangeStmt:
 				tv, ok := pass.TypesInfo.Types[n.X]

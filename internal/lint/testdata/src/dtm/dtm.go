@@ -48,3 +48,34 @@ func slices(xs []int) int {
 	}
 	return s
 }
+
+func selects(a, b chan int, stop chan struct{}) int {
+	select { // want "select with 2 communication cases chooses nondeterministically"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func poll(a chan int) int {
+	// One communication case plus a default is a plain poll: whether a
+	// value is ready is determined by the program state, not the
+	// runtime's case shuffle.
+	select {
+	case v := <-a:
+		return v
+	default:
+		return -1
+	}
+}
+
+func waivedSelect(a, b chan int) int {
+	//lint:nondeterministic both arms fold into one replay-stable merge
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

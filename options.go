@@ -32,6 +32,7 @@ type config struct {
 	pfus         int
 	budget       uint64
 	lintWarnings bool
+	timingStats  bool
 	sink         Sink
 	disasmW      io.Writer
 	disasmN      int
@@ -204,6 +205,21 @@ func WithBudget(cycles uint64) Option {
 func WithLintWarnings() Option {
 	return func(c *config) error {
 		c.lintWarnings = true
+		return nil
+	}
+}
+
+// WithTimingStats runs static timing analysis over every circuit image a
+// spawned program registers (see Image.Timing) and emits one EventTiming
+// with the critical-path summary through the session's progress sink,
+// once per distinct configuration per session. The analysis is purely
+// informational — depth in LUT levels under the fabric's unit-delay
+// model — and never affects the run; behavioural images, which carry no
+// netlist, report nothing. Pair it with WithProgress, or the reports
+// have nowhere to go.
+func WithTimingStats() Option {
+	return func(c *config) error {
+		c.timingStats = true
 		return nil
 	}
 }

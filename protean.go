@@ -78,6 +78,8 @@ type Session struct {
 	// linted dedupes WithLintWarnings emissions by configuration key, so
 	// a session warns once per distinct circuit, not once per spawn.
 	linted map[core.ConfigKey]bool
+	// timed dedupes WithTimingStats emissions the same way.
+	timed map[core.ConfigKey]bool
 }
 
 // New builds a session: a ProteanARM machine with a booted POrSCHE kernel,
@@ -238,6 +240,9 @@ func (s *Session) spawn(name, workload string, prog Program) (*Proc, error) {
 	if s.cfg.lintWarnings {
 		s.lintImages(name, prog.Images)
 	}
+	if s.cfg.timingStats {
+		s.timeImages(name, prog.Images)
+	}
 	p := &Proc{PID: kp.PID, Name: name, Workload: workload, expected: prog.Expected}
 	s.procs = append(s.procs, p)
 	return p, nil
@@ -262,6 +267,31 @@ func (s *Session) lintImages(proc string, images []*Image) {
 				Message: fmt.Sprintf("lint: image %s (registered by %s): %s", img.Name, proc, msg),
 			})
 		}
+	}
+}
+
+// timeImages emits one EventTiming per distinct circuit image with its
+// static critical-path summary (the analysis is cached process-wide by
+// configuration key; see Image.Timing). Images without a decodable
+// configuration have no static delay and stay silent.
+func (s *Session) timeImages(proc string, images []*Image) {
+	for _, img := range images {
+		if img == nil || s.timed[img.Key()] {
+			continue
+		}
+		if s.timed == nil {
+			s.timed = map[core.ConfigKey]bool{}
+		}
+		s.timed[img.Key()] = true
+		rep := img.Timing()
+		if rep == nil {
+			continue
+		}
+		msg := fmt.Sprintf("timing: image %s (registered by %s): depth %d levels, %d LUTs", img.Name, proc, rep.MaxDepth, rep.LUTs)
+		if crit := rep.Critical(); crit != nil {
+			msg += fmt.Sprintf(", critical %s", crit.Endpoint())
+		}
+		s.emit(Event{Kind: EventTiming, Label: img.Name, Message: msg})
 	}
 }
 
