@@ -6,6 +6,7 @@
 package protean_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -54,6 +55,7 @@ func BenchmarkFig2BasicScheduling(b *testing.B) {
 // version of the paper's Figure-2 cost.
 func BenchmarkClusterAffinityVsRoundRobin(b *testing.B) {
 	sw := exp.Sweeper{Scale: benchScale, Seed: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		frs, err := sw.RunFleet(8, protean.PlaceRoundRobin, protean.PlaceAffinity)
 		if err != nil {
@@ -66,6 +68,63 @@ func BenchmarkClusterAffinityVsRoundRobin(b *testing.B) {
 		}
 		b.ReportMetric(float64(rr.ConfigLoads())/float64(aff.ConfigLoads()), "config-loads-saved-x")
 		b.ReportMetric(float64(aff.Makespan), "affinity-makespan-cycles")
+	}
+}
+
+// BenchmarkClusterLaneBatching measures fleet job throughput on a
+// same-configuration thrash mix — many identical jobs per workload, the
+// shape lane batching folds — with batching on (auto, the default)
+// versus off, reporting jobs/sec for both and the speedup. Every
+// iteration also asserts the batching contract: the CSV render of the
+// batched FleetResult is byte-identical to the scalar one.
+func BenchmarkClusterLaneBatching(b *testing.B) {
+	const jobs = 24
+	run := func(lanes int) *protean.FleetResult {
+		c, err := protean.NewCluster(
+			protean.WithNodes(4),
+			protean.WithStoreSlots(2),
+			protean.WithClusterSeed(7),
+			protean.WithLanes(lanes),
+			protean.WithNodeOptions(
+				protean.WithScale(800),
+				protean.WithQuantum(protean.Quantum1ms/800),
+			),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rotation := []string{"alpha/hw-nosoft", "twofish/hw-nosoft", "echo/hw-nosoft"}
+		for i := 0; i < jobs; i++ {
+			if err := c.Submit(rotation[i%len(rotation)], 2, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fr, err := c.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fr
+	}
+	b.ReportAllocs()
+	var batched *protean.FleetResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batched = run(0)
+	}
+	b.StopTimer()
+	batchedPerRun := b.Elapsed().Seconds() / float64(b.N)
+	start := time.Now()
+	scalar := run(1)
+	scalarPerRun := time.Since(start).Seconds()
+	if scalar.Table().CSV() != batched.Table().CSV() {
+		b.Fatal("lane-batched fleet CSV differs from scalar")
+	}
+	if batchedPerRun > 0 {
+		b.ReportMetric(jobs/batchedPerRun, "jobs/sec")
+		b.ReportMetric(scalarPerRun/batchedPerRun, "batching-speedup-x")
+	}
+	if scalarPerRun > 0 {
+		b.ReportMetric(jobs/scalarPerRun, "scalar-jobs/sec")
 	}
 }
 
@@ -179,6 +238,7 @@ func BenchmarkTLBLookup(b *testing.B) {
 		tlb.Insert(core.IDTuple{PID: uint32(i), CID: uint32(i)}, uint32(i%4))
 	}
 	key := core.IDTuple{PID: 15, CID: 15}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tlb.Lookup(key)
@@ -222,6 +282,7 @@ func BenchmarkBehaviouralPFU(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step(uint32(i), ^uint32(i), i%8 == 0)
@@ -242,6 +303,7 @@ func BenchmarkGatePFU(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pfu.Step(uint32(i), ^uint32(i), i%8 == 0)
@@ -249,8 +311,10 @@ func BenchmarkGatePFU(b *testing.B) {
 }
 
 // BenchmarkCompiledPFU measures the same gate-level cycle on the compiled
-// execution engine, and reports the speedup over the interpretive step
-// (measured inline on the identical configuration) as a custom metric.
+// execution engine, and reports two inline-measured speedups as custom
+// metrics: over the interpretive step on the identical configuration
+// (speedup-vs-gate-x), and of the bit-sliced lane engine at full 64-lane
+// occupancy over 64 scalar compiled settles (lanes-speedup-x).
 func BenchmarkCompiledPFU(b *testing.B) {
 	n := fabric.AlphaBlend()
 	fabric.Optimize(n)
@@ -263,6 +327,7 @@ func BenchmarkCompiledPFU(b *testing.B) {
 		b.Fatal(err)
 	}
 	inst := prog.NewInstance()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inst.Step(uint32(i), ^uint32(i), i%8 == 0)
@@ -282,6 +347,56 @@ func BenchmarkCompiledPFU(b *testing.B) {
 	if compiledPerOp > 0 {
 		b.ReportMetric(gatePerOp/compiledPerOp, "speedup-vs-gate-x")
 	}
+	// Lane engine at full occupancy: one Step settles 64 circuits, so the
+	// per-circuit cost is the lane step divided by the lane width.
+	li := prog.NewLaneInstance()
+	var la, lb, lout [fabric.Lanes]uint32
+	for l := 0; l < fabric.Lanes; l++ {
+		la[l] = uint32(l) * 0x9E3779B9
+		lb[l] = ^la[l]
+	}
+	start = time.Now()
+	for i := 0; i < probe; i++ {
+		var initMask uint64
+		if i%8 == 0 {
+			initMask = ^uint64(0)
+		}
+		li.Step(&la, &lb, initMask, &lout)
+	}
+	lanePerOp := time.Since(start).Seconds() / probe
+	if lanePerOp > 0 {
+		b.ReportMetric(compiledPerOp/(lanePerOp/fabric.Lanes), "lanes-speedup-x")
+	}
+}
+
+// BenchmarkLanesPFU measures one full-occupancy bit-sliced lane step (64
+// circuit instances settled per op).
+func BenchmarkLanesPFU(b *testing.B) {
+	n := fabric.AlphaBlend()
+	fabric.Optimize(n)
+	cfg, _, err := fabric.Place(n, fabric.DefaultPFUSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := fabric.Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	li := prog.NewLaneInstance()
+	var la, lb, lout [fabric.Lanes]uint32
+	for l := 0; l < fabric.Lanes; l++ {
+		la[l] = uint32(l) * 0x9E3779B9
+		lb[l] = ^la[l]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var initMask uint64
+		if i%8 == 0 {
+			initMask = ^uint64(0)
+		}
+		li.Step(&la, &lb, initMask, &lout)
+	}
 }
 
 // BenchmarkConfigLoad measures a full PFU configuration (instance
@@ -290,6 +405,7 @@ func BenchmarkCompiledPFU(b *testing.B) {
 func BenchmarkConfigLoad(b *testing.B) {
 	rfu := core.New(core.DefaultConfig)
 	img := workload.AlphaImage()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rfu.LoadImage(i%4, img); err != nil {
@@ -308,6 +424,7 @@ func BenchmarkConfigLoadGate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rfu.LoadImage(i%4, img); err != nil {
@@ -325,6 +442,7 @@ func BenchmarkInstanceStampOut(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := img.NewInstance(); err != nil {
@@ -376,6 +494,7 @@ func BenchmarkBitstreamDecode(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(bits)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fabric.Decode(bits); err != nil {

@@ -376,3 +376,75 @@ func ExampleCluster() {
 	fmt.Printf("policy=%s jobs=%d verified=%v\n", fr.Policy, len(fr.Jobs), fr.Err() == nil)
 	// Output: policy=config-affinity jobs=4 verified=true
 }
+
+// TestClusterLanesByteIdentical locks the lane-batching contract at the
+// facade: with same-configuration job batching on (WithLanes(0), the
+// default auto mode) and off (WithLanes(1)), the FleetResult — CSV and
+// JSON serializations included — is byte-identical at every worker
+// count. The mix repeats each workload, so batching genuinely folds
+// several jobs into shared bit-sliced sessions.
+func TestClusterLanesByteIdentical(t *testing.T) {
+	run := func(lanes, workers int, session ...protean.Option) *protean.FleetResult {
+		opts := []protean.ClusterOption{
+			protean.WithPlacement(protean.PlaceAffinity),
+			protean.WithLanes(lanes),
+			protean.WithClusterWorkers(workers),
+		}
+		if len(session) > 0 {
+			opts = append(opts, protean.WithNodeOptions(session...))
+		}
+		c := testFleet(t, opts...)
+		fleetMix(t, c, 12)
+		fr, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr
+	}
+	scalar := run(1, 1)
+	for _, workers := range []int{1, 4, 8} {
+		batched := run(0, workers)
+		if !reflect.DeepEqual(scalar, batched) {
+			t.Fatalf("lane-batched fleet result differs from scalar at workers=%d", workers)
+		}
+		if scalar.Table().CSV() != batched.Table().CSV() {
+			t.Errorf("lane-batched CSV not byte-identical at workers=%d", workers)
+		}
+		sj, err := json.Marshal(scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, bj) {
+			t.Errorf("lane-batched JSON not byte-identical at workers=%d", workers)
+		}
+	}
+	// Seed-sensitive sessions veto batching: under the random replacement
+	// policy each job's derived seed matters, so auto mode must fall back
+	// to scalar execution and still match WithLanes(1) exactly.
+	randScalar := run(1, 1, protean.WithPolicy(protean.PolicyRandom))
+	randAuto := run(0, 4, protean.WithPolicy(protean.PolicyRandom))
+	if !reflect.DeepEqual(randScalar, randAuto) {
+		t.Fatal("random-policy fleet differs between lanes auto and off: batching was not vetoed")
+	}
+}
+
+func TestWithLanesValidation(t *testing.T) {
+	if _, err := protean.NewCluster(protean.WithLanes(-1)); err == nil {
+		t.Error("negative lanes accepted")
+	}
+	if _, err := protean.NewCluster(protean.WithLanes(65)); err == nil {
+		t.Error("lanes above the 64-lane width accepted")
+	}
+	sc := protean.Scenario{
+		Lanes: 65,
+		Nodes: []protean.NodeSpec{{}},
+		Jobs:  []protean.JobSpec{{Workload: "echo"}},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Error("scenario with lanes above the 64-lane width validated")
+	}
+}

@@ -1,0 +1,211 @@
+// Command benchjson regenerates BENCH_fabric.json, the tracked
+// performance trajectory of the simulation substrates: it runs the
+// substrate benchmark suite for one iteration and records every
+// reported metric (ns/op, allocs, and the custom metrics the
+// benchmarks emit — speedup-vs-gate-x, lanes-speedup-x,
+// batching-speedup-x, cones-proved-per-sec, ...) as a benchmark-name →
+// metric map.
+//
+// Metric values drift with hardware and load, so CI does not pin them;
+// it runs `benchjson -check`, which regenerates the suite and fails
+// only on schema drift — a benchmark or metric that appeared in or
+// vanished from the committed file. That keeps the trajectory file
+// honest: adding a benchmark (or losing one) forces a regeneration in
+// the same commit.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson            # rewrite BENCH_fabric.json
+//	go run ./cmd/benchjson -check     # fail on schema drift, ignore values
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// suite pins which benchmarks feed the trajectory: the fabric/cluster
+// substrate microbenchmarks in the root package (PFU settle engines,
+// configuration loads, lane batching) and the fabric equivalence
+// prover. The figure sweeps are excluded — they regenerate paper
+// plots, not substrate performance.
+var suite = []struct {
+	pkg   string
+	bench string
+}{
+	{".", "^(BenchmarkBehaviouralPFU|BenchmarkGatePFU|BenchmarkCompiledPFU|BenchmarkLanesPFU|" +
+		"BenchmarkConfigLoad|BenchmarkConfigLoadGate|BenchmarkInstanceStampOut|BenchmarkBitstreamDecode|" +
+		"BenchmarkTLBLookup|BenchmarkClusterAffinityVsRoundRobin|BenchmarkClusterLaneBatching)$"},
+	{"./internal/fabric", "^BenchmarkEquiv$"},
+}
+
+const trajectoryFile = "BENCH_fabric.json"
+
+// trajectory is the on-disk shape of BENCH_fabric.json.
+type trajectory struct {
+	// Comment explains the file to readers stumbling on it in the tree.
+	Comment string `json:"comment"`
+	// Benchmarks maps benchmark name (Benchmark prefix and -GOMAXPROCS
+	// suffix stripped) to its reported metrics.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkCompiledPFU-8   1   2505 ns/op   45.82 lanes-speedup-x   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func main() {
+	check := flag.Bool("check", false, "regenerate and fail on schema drift against the committed file (values are not compared)")
+	out := flag.String("o", trajectoryFile, "output file")
+	flag.Parse()
+
+	got, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *check {
+		want, err := load(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if drift := schemaDrift(want.Benchmarks, got.Benchmarks); len(drift) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: schema drift against %s:\n", *out)
+			for _, d := range drift {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			fmt.Fprintln(os.Stderr, "regenerate with: go run ./cmd/benchjson")
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: schema matches %s (%d benchmarks)\n", *out, len(got.Benchmarks))
+		return
+	}
+
+	buf, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(got.Benchmarks))
+}
+
+// run executes the pinned suite and parses every metric it reports.
+func run() (*trajectory, error) {
+	tr := &trajectory{
+		Comment: "substrate performance trajectory; regenerate with `go run ./cmd/benchjson` " +
+			"(CI checks only the schema - benchmark names and metric keys - not the values)",
+		Benchmarks: make(map[string]map[string]float64),
+	}
+	for _, s := range suite {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", s.bench, "-benchtime", "1x", "-count", "1", s.pkg)
+		outBuf, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench %s %s: %w\n%s", s.bench, s.pkg, err, outBuf)
+		}
+		if err := parse(string(outBuf), tr.Benchmarks); err != nil {
+			return nil, fmt.Errorf("parsing %s output: %w", s.pkg, err)
+		}
+	}
+	if len(tr.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results parsed")
+	}
+	return tr, nil
+}
+
+// parse extracts metric maps from `go test -bench` output into dst.
+func parse(out string, dst map[string]map[string]float64) error {
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		fields := strings.Fields(m[2])
+		if len(fields)%2 != 0 {
+			return fmt.Errorf("odd metric fields in %q", line)
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("metric value %q in %q: %w", fields[i], line, err)
+			}
+			metrics[fields[i+1]] = v
+		}
+		dst[name] = metrics
+	}
+	return nil
+}
+
+func load(path string) (*trajectory, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(buf, &tr); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &tr, nil
+}
+
+// schemaDrift reports benchmarks and metric keys present in one side
+// but not the other, as human-readable lines. Values are ignored.
+func schemaDrift(want, got map[string]map[string]float64) []string {
+	var drift []string
+	for _, name := range sortedKeys(want) {
+		g, ok := got[name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("benchmark %s: in file, not reported by suite", name))
+			continue
+		}
+		for _, k := range sortedMetricKeys(want[name]) {
+			if _, ok := g[k]; !ok {
+				drift = append(drift, fmt.Sprintf("benchmark %s: metric %q in file, not reported", name, k))
+			}
+		}
+		for _, k := range sortedMetricKeys(g) {
+			if _, ok := want[name][k]; !ok {
+				drift = append(drift, fmt.Sprintf("benchmark %s: metric %q reported, not in file", name, k))
+			}
+		}
+	}
+	for _, name := range sortedKeys(got) {
+		if _, ok := want[name]; !ok {
+			drift = append(drift, fmt.Sprintf("benchmark %s: reported by suite, not in file", name))
+		}
+	}
+	return drift
+}
+
+func sortedKeys(m map[string]map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

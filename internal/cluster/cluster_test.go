@@ -559,3 +559,124 @@ func TestWeightedAffinityBalancesKindsAcrossSpareNodes(t *testing.T) {
 	t.Logf("makespan rr=%d aff=%d weighted=%d; cold loads rr=%d aff=%d weighted=%d",
 		rr.Makespan, aff.Makespan, wa.Makespan, rr.ColdLoads, aff.ColdLoads, wa.ColdLoads)
 }
+
+// batchJobs builds n jobs in two batch groups plus some unbatchable ones.
+func batchJobs(n int) []Job {
+	jobs := altJobs(n)
+	for i := range jobs {
+		switch i % 3 {
+		case 0:
+			jobs[i].Batch = 1
+		case 1:
+			jobs[i].Batch = 2
+		default:
+			jobs[i].Batch = 0 // never batched
+		}
+	}
+	return jobs
+}
+
+func TestExecutionChunks(t *testing.T) {
+	jobs := batchJobs(10) // batch ids: 1,2,0,1,2,0,1,2,0,1
+	runner := func([]int, int, []int64) ([]Exec, error) { return nil, nil }
+	chunks := executionChunks(Config{Lanes: 3, BatchRunner: runner}, jobs)
+	want := [][]int{{2}, {5}, {8}, {0, 3, 6}, {9}, {1, 4, 7}}
+	if !reflect.DeepEqual(chunks, want) {
+		t.Fatalf("chunks %v, want %v", chunks, want)
+	}
+	// Lanes above MaxBatch clamp; Lanes <= 1 or a nil runner means all
+	// singletons.
+	if got := executionChunks(Config{Lanes: 1, BatchRunner: runner}, jobs); len(got) != len(jobs) {
+		t.Fatalf("Lanes=1 produced %d chunks for %d jobs", len(got), len(jobs))
+	}
+	if got := executionChunks(Config{Lanes: 64}, jobs); len(got) != len(jobs) {
+		t.Fatalf("nil BatchRunner produced %d chunks for %d jobs", len(got), len(jobs))
+	}
+	big := make([]Job, MaxBatch+10)
+	for i := range big {
+		big[i].Batch = 7
+	}
+	got := executionChunks(Config{Lanes: MaxBatch + 100, BatchRunner: runner}, big)
+	if len(got) != 2 || len(got[0]) != MaxBatch || len(got[1]) != 10 {
+		t.Fatalf("oversized group split into %d chunks", len(got))
+	}
+}
+
+// TestExecuteBatchingMatchesScalar locks the batching contract: with a
+// batch runner that reproduces the scalar runner lane by lane, the
+// execution profiles — and the replayed trace — are identical to the
+// unbatched run, per-job seeds included, at every worker count.
+func TestExecuteBatchingMatchesScalar(t *testing.T) {
+	jobs := batchJobs(40)
+	run := func(i, class int, seed int64) (Exec, error) {
+		return Exec{Cycles: uint64(i*1000+class*10) + uint64(seed&0x7)}, nil
+	}
+	cfg := Config{Nodes: 3, Classes: 2, Seed: 42, Workers: 1,
+		NodeConfigs: []NodeConfig{{Class: 0}, {Class: 1}, {Class: 0}}}
+	want, err := Execute(cfg, jobs, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		bcfg := cfg
+		bcfg.Workers = workers
+		bcfg.Lanes = 4
+		var batchCalls int
+		bcfg.BatchRunner = func(idxs []int, class int, seeds []int64) ([]Exec, error) {
+			batchCalls++
+			if len(idxs) < 2 {
+				t.Errorf("batch runner called with %d jobs", len(idxs))
+			}
+			es := make([]Exec, len(idxs))
+			for k, i := range idxs {
+				var err error
+				if es[k], err = run(i, class, seeds[k]); err != nil {
+					return nil, err
+				}
+			}
+			return es, nil
+		}
+		got, err := Execute(bcfg, jobs, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batched profiles differ from scalar", workers)
+		}
+		if workers == 1 && batchCalls == 0 {
+			t.Fatal("batch runner never called")
+		}
+		wtr, err := Replay(cfg, jobs, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gtr, err := Replay(bcfg, jobs, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wtr, gtr) {
+			t.Fatalf("workers=%d: batched trace differs from scalar", workers)
+		}
+	}
+}
+
+// TestExecuteBatchErrors covers the batch cell's failure paths.
+func TestExecuteBatchErrors(t *testing.T) {
+	jobs := batchJobs(6)
+	run := fixedRunner(100)
+	cfg := Config{Lanes: 4, Seed: 1}
+	cfg.BatchRunner = func(idxs []int, _ int, _ []int64) ([]Exec, error) {
+		return nil, errors.New("boom")
+	}
+	_, err := Execute(cfg, jobs, run)
+	if err == nil || !strings.Contains(err.Error(), "batch of 2 jobs") {
+		t.Fatalf("batch error not wrapped: %v", err)
+	}
+	cfg.BatchRunner = func(idxs []int, _ int, _ []int64) ([]Exec, error) {
+		return make([]Exec, len(idxs)+1), nil
+	}
+	_, err = Execute(cfg, jobs, run)
+	if err == nil || !strings.Contains(err.Error(), "profiles") {
+		t.Fatalf("profile-count mismatch not detected: %v", err)
+	}
+}

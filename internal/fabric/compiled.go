@@ -2,7 +2,7 @@ package fabric
 
 import (
 	"encoding/binary"
-	"fmt"
+	"sync"
 )
 
 // Compiled is a circuit program: a validated, levelized ArrayConfig
@@ -60,6 +60,12 @@ type Compiled struct {
 	outTap [33]int32 // resolved output wire per out bit (32 = done)
 
 	ffInit []uint8 // power-on register values, one byte per CLB
+
+	// lane is the bit-sliced 64-lane lowering (see lanes.go), built
+	// lazily on first NewLaneInstance. Compiled programs are shared
+	// process-wide, so the lowering happens once per configuration.
+	laneOnce sync.Once
+	lane     *laneProg
 }
 
 // lutOp is one lowered LUT evaluation: four precomputed input wire
@@ -363,30 +369,6 @@ func spreadBits(v uint8) uint64 {
 	return ^(0x8080808080808080 - x) & 0x8080808080808080 >> 7
 }
 
-// SaveState reads back the state frame group — one bit per CLB register —
-// in the same layout as PFU.SaveState, so state frames migrate freely
-// between the two engines.
-func (in *Instance) SaveState() []bool {
-	n := in.prog.spec.CLBs()
-	st := make([]bool, n)
-	for i := range st {
-		st[i] = in.ffQ[i] != 0
-	}
-	return st
-}
-
-// LoadState restores a state frame group.
-func (in *Instance) LoadState(state []bool) error {
-	n := in.prog.spec.CLBs()
-	if len(state) != n {
-		return fmt.Errorf("fabric: state has %d bits, instance has %d CLBs", len(state), n)
-	}
-	for i, v := range state {
-		if v {
-			in.ffQ[i] = 1
-		} else {
-			in.ffQ[i] = 0
-		}
-	}
-	return nil
-}
+// State capture lives in frame.go: SaveFrame/LoadFrame exchange the
+// canonical one-byte-per-CLB frame (the ffQ layout itself), with
+// deprecated []bool shims for the pre-frame signatures.

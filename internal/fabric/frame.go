@@ -1,0 +1,149 @@
+package fabric
+
+import "fmt"
+
+// State frames are the §4.1 swap currency: the per-CLB flip-flop
+// contents, and nothing else, that must cross the configuration port when
+// a live circuit is evicted. Every engine in this package — the
+// interpretive PFU, the compiled scalar Instance and the bit-sliced
+// LaneInstance — exchanges frames in one canonical form: one byte per
+// CLB, 0 or 1, in CLB order (exactly the layout of the compiled
+// program's power-on image, Compiled.ffInit). The scalar engine stores
+// its registers in this very layout, so its SaveFrame is a copy and its
+// LoadFrame needs no conversion; the lane engine bit-packs across lanes
+// and converts at the frame boundary, which is the swap path, not the
+// settle path.
+//
+// PackFrame/UnpackFrame translate between the canonical frame and the
+// modeled frame-group bytes (8 CLBs per byte) that cross the simulated
+// configuration port — the form core.Model.SaveState ships and
+// StateBytes prices.
+
+// SaveFrame reads back the state frame group: one byte per CLB register,
+// 0 or 1, in CLB order.
+func (in *Instance) SaveFrame() []uint8 {
+	out := make([]uint8, len(in.ffQ))
+	copy(out, in.ffQ)
+	return out
+}
+
+// LoadFrame restores a state frame group. Nonzero bytes load as 1.
+func (in *Instance) LoadFrame(frame []uint8) error {
+	if len(frame) != len(in.ffQ) {
+		return fmt.Errorf("fabric: frame has %d bytes, instance has %d CLBs", len(frame), len(in.ffQ))
+	}
+	for i, v := range frame {
+		if v != 0 {
+			in.ffQ[i] = 1
+		} else {
+			in.ffQ[i] = 0
+		}
+	}
+	return nil
+}
+
+// SaveState reads back the state frame group as bools.
+//
+// Deprecated: use SaveFrame; the []bool form survives only for callers
+// predating the canonical byte frame.
+func (in *Instance) SaveState() []bool {
+	return frameToBools(in.SaveFrame())
+}
+
+// LoadState restores a state frame group from bools.
+//
+// Deprecated: use LoadFrame.
+func (in *Instance) LoadState(state []bool) error {
+	if len(state) != len(in.ffQ) {
+		return fmt.Errorf("fabric: state has %d bits, instance has %d CLBs", len(state), len(in.ffQ))
+	}
+	return in.LoadFrame(boolsToFrame(state))
+}
+
+// SaveFrame reads back the PFU's state frame group in the canonical
+// one-byte-per-CLB form. This is the cheap half of the split
+// configuration of §4.1.
+func (p *PFU) SaveFrame() []uint8 {
+	out := make([]uint8, len(p.ffQ))
+	for i, v := range p.ffQ {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// LoadFrame restores a state frame group. Nonzero bytes load as 1.
+func (p *PFU) LoadFrame(frame []uint8) error {
+	if len(frame) != len(p.ffQ) {
+		return fmt.Errorf("fabric: frame has %d bytes, PFU has %d CLBs", len(frame), len(p.ffQ))
+	}
+	for i, v := range frame {
+		p.ffQ[i] = v != 0
+	}
+	return nil
+}
+
+// SaveState reads back the state frame group as bools.
+//
+// Deprecated: use SaveFrame.
+func (p *PFU) SaveState() []bool {
+	st := make([]bool, len(p.ffQ))
+	copy(st, p.ffQ)
+	return st
+}
+
+// LoadState restores a state frame group from bools.
+//
+// Deprecated: use LoadFrame.
+func (p *PFU) LoadState(state []bool) error {
+	if len(state) != len(p.ffQ) {
+		return fmt.Errorf("fabric: state has %d bits, PFU has %d CLBs", len(state), len(p.ffQ))
+	}
+	copy(p.ffQ, state)
+	return nil
+}
+
+// PackFrame packs a canonical frame into modeled frame-group bytes,
+// 8 CLB registers per byte, CLB i in byte i/8 bit i%8 — the form that
+// crosses the simulated configuration port.
+func PackFrame(frame []uint8) []byte {
+	out := make([]byte, (len(frame)+7)/8)
+	for i, v := range frame {
+		if v != 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// UnpackFrame expands modeled frame-group bytes back into the canonical
+// frame for a circuit with n CLBs.
+func UnpackFrame(data []byte, n int) ([]uint8, error) {
+	if len(data) != (n+7)/8 {
+		return nil, fmt.Errorf("fabric: frame group is %d bytes, want %d for %d CLBs", len(data), (n+7)/8, n)
+	}
+	frame := make([]uint8, n)
+	for i := range frame {
+		frame[i] = data[i/8] >> (i % 8) & 1
+	}
+	return frame, nil
+}
+
+func frameToBools(frame []uint8) []bool {
+	out := make([]bool, len(frame))
+	for i, v := range frame {
+		out[i] = v != 0
+	}
+	return out
+}
+
+func boolsToFrame(state []bool) []uint8 {
+	out := make([]uint8, len(state))
+	for i, v := range state {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}

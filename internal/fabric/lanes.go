@@ -1,0 +1,436 @@
+package fabric
+
+import "fmt"
+
+// Bit-sliced execution: 64 independent copies of one compiled circuit,
+// packed one bit per copy ("lane") into uint64 words, settled together
+// by branch-free boolean word ops.
+//
+// The scalar Instance evaluates each LUT with a table lookup over a
+// byte-per-wire scratch — ~1 op per LUT, but for 1 circuit. The lane
+// engine lowers each LUT once more, from its packed 16-bit truth table
+// into a short sequence of word ops via Shannon/mux expansion over the
+// four input words:
+//
+//	lut(x3..x0) = mux(x3, lut_hi(x2..x0), lut_lo(x2..x0))
+//	mux(s, h, l) = l XOR (s AND (h XOR l))   — one 3-address word op
+//
+// with constant folding at every level: an unconnected pin (the
+// constant-0 wire) selects the low cofactor for free, equal cofactors
+// collapse, and the base patterns lower to single ops (AND, OR, ANDN,
+// ORN, NOT, XOR via a peephole, plain aliases for buffers). A typical
+// routed LUT costs 1–3 word ops, so one settle of the lane program
+// advances 64 circuits for a handful of times the scalar per-circuit
+// cost — the ~10–50× hot-path win of ROADMAP item 2.
+//
+// The lowering reuses the scalar schedule wholesale: combOps order (and
+// thus levelization), stageOps, pinFF/lutFFQ edge ops, ffDrive and the
+// 33 resolved output taps. Wire w of lane l is bit l of words[w]; the
+// per-lane 32-bit operands and results cross between lane-major and
+// wire-major form through a 64×64 bit-matrix transpose at the taps,
+// exactly the gather/scatter the paper's configuration port performs at
+// frame boundaries.
+
+// Lanes is the lane count of the bit-sliced engine: one bit per lane in
+// a 64-bit word.
+const Lanes = 64
+
+// Lane-op opcodes. Every op is a 3-address boolean word operation over
+// the lane words; opMux takes a third source (c) for the Shannon mux.
+const (
+	opMov  uint8 = iota // dst = a
+	opNot               // dst = ^a
+	opAnd               // dst = a & b
+	opOr                // dst = a | b
+	opXor               // dst = a ^ b
+	opAndN              // dst = a &^ b
+	opOrN               // dst = a | ^b
+	opMux               // dst = c ^ (a & (b ^ c)): a ? b : c
+)
+
+// laneOp is one lowered word operation.
+type laneOp struct {
+	a, b, c, dst int32
+	code         uint8
+}
+
+// laneProg is the bit-parallel lowering of a Compiled program. It is
+// built lazily, once per compiled program (so once per distinct
+// configuration process-wide, through the SharedProgram cache), and is
+// immutable afterwards.
+//
+// Word layout: [0, nWires) are the scalar wire indices unchanged
+// (operands, init, CLB outputs, the constant-0 wire); then one
+// constant-1 word; then one persistent next-state word per LUT-fed
+// flip-flop (the bit-parallel ffNxt — persistent, not per-step, so the
+// degenerate never-staged-register semantics of the scalar engine are
+// reproduced exactly); then the expansion temporaries, reused across
+// LUTs.
+type laneProg struct {
+	ops     []laneOp // comb settle + FF staging, in schedule order
+	latches []edgeOp // LUT-fed FF latches: ffQ[q] <- words[d] at the edge
+	words   int      // total word count
+	const1  int32    // index of the constant all-ones word
+}
+
+// lanes returns the program's bit-parallel lowering, building it on
+// first use. Safe for concurrent instances of one shared program.
+func (c *Compiled) lanes() *laneProg {
+	c.laneOnce.Do(func() { c.lane = buildLaneProg(c) })
+	return c.lane
+}
+
+// buildLaneProg lowers a compiled program to word ops. The scalar
+// schedule is already levelized, so lowering is one pass over combOps
+// then stageOps; within one LUT the emitted ops are dependent and stay
+// in emission order.
+func buildLaneProg(c *Compiled) *laneProg {
+	constW := int32(c.spec.NumWires())
+	const1 := int32(c.nWires)
+	// One persistent next-state word per register that is either staged
+	// by a LUT or latched at the edge. A register latched but never
+	// staged reads an all-zero word forever — bit-for-bit the scalar
+	// engine's never-written ffNxt byte.
+	nxtOf := make([]int32, c.spec.CLBs())
+	for i := range nxtOf {
+		nxtOf[i] = -1
+	}
+	next := const1 + 1
+	for _, op := range c.stageOps {
+		if nxtOf[op.out] < 0 {
+			nxtOf[op.out] = next
+			next++
+		}
+	}
+	for _, q := range c.lutFFQ {
+		if nxtOf[q] < 0 {
+			nxtOf[q] = next
+			next++
+		}
+	}
+	lw := &laneLower{constW: constW, const1: const1, tmpBase: next}
+	for i := range c.combOps {
+		lw.lowerLUT(&c.combOps[i], c.combOps[i].out)
+	}
+	for i := range c.stageOps {
+		lw.lowerLUT(&c.stageOps[i], nxtOf[c.stageOps[i].out])
+	}
+	lp := &laneProg{
+		ops:    lw.ops,
+		words:  int(next + lw.maxTmp),
+		const1: const1,
+	}
+	for _, q := range c.lutFFQ {
+		lp.latches = append(lp.latches, edgeOp{d: nxtOf[q], q: q})
+	}
+	return lp
+}
+
+// laneLower is the per-program lowering state.
+type laneLower struct {
+	constW  int32 // the constant-0 wire
+	const1  int32 // the constant-1 word
+	tmpBase int32 // first temporary word
+	tmp     int32 // temporaries live in the current LUT
+	maxTmp  int32
+	ops     []laneOp
+}
+
+// lowerLUT expands one scalar lutOp into word ops ending at dst.
+func (lw *laneLower) lowerLUT(op *lutOp, dst int32) {
+	lw.tmp = 0
+	r := lw.expand(uint32(op.tab), &op.in, 3)
+	if n := len(lw.ops); n > 0 && r >= lw.tmpBase && lw.ops[n-1].dst == r {
+		// The expansion's final op wrote a temporary: retarget it.
+		lw.ops[n-1].dst = dst
+		return
+	}
+	// Alias (input wire or constant): materialise with a move.
+	lw.ops = append(lw.ops, laneOp{code: opMov, a: r, dst: dst})
+}
+
+// expand lowers the truth-table cofactor over pins [0, pin] to a word
+// ref: a wire, a constant word, or a freshly emitted temporary.
+func (lw *laneLower) expand(tab uint32, in *[4]int32, pin int) int32 {
+	if pin < 0 {
+		if tab&1 != 0 {
+			return lw.const1
+		}
+		return lw.constW
+	}
+	half := uint(1) << uint(pin)
+	m := uint32(1)<<half - 1
+	lo, hi := tab&m, tab>>half&m
+	x := in[pin]
+	if x == lw.constW || lo == hi {
+		// Unconnected pins read constant 0; insensitive pins collapse.
+		return lw.expand(lo, in, pin-1)
+	}
+	l := lw.expand(lo, in, pin-1)
+	h := lw.expand(hi, in, pin-1)
+	if l == h {
+		return l
+	}
+	switch {
+	case h == lw.const1 && l == lw.constW:
+		return x
+	case h == lw.constW && l == lw.const1:
+		return lw.emit(opNot, x, 0, 0)
+	case l == lw.constW:
+		return lw.emit(opAnd, x, h, 0)
+	case l == lw.const1:
+		return lw.emit(opOrN, h, x, 0)
+	case h == lw.constW:
+		return lw.emit(opAndN, l, x, 0)
+	case h == lw.const1:
+		return lw.emit(opOr, x, l, 0)
+	}
+	// Peephole: mux(x, ^l, l) is x XOR l — the high cofactor was just
+	// emitted as NOT of the low one, so pop it and fuse. This is the
+	// dominant shape in arithmetic and CRC logic.
+	if n := len(lw.ops); n > 0 {
+		last := &lw.ops[n-1]
+		if last.code == opNot && last.dst == h && last.a == l &&
+			h == lw.tmpBase+lw.tmp-1 {
+			lw.ops = lw.ops[:n-1]
+			lw.tmp--
+			return lw.emit(opXor, x, l, 0)
+		}
+	}
+	return lw.emit(opMux, x, h, l)
+}
+
+// emit appends one op writing a fresh temporary and returns it.
+func (lw *laneLower) emit(code uint8, a, b, c int32) int32 {
+	dst := lw.tmpBase + lw.tmp
+	lw.tmp++
+	if lw.tmp > lw.maxTmp {
+		lw.maxTmp = lw.tmp
+	}
+	lw.ops = append(lw.ops, laneOp{code: code, a: a, b: b, c: c, dst: dst})
+	return dst
+}
+
+// LaneInstance is one executable 64-lane copy of a Compiled program:
+// the shared read-only lane program plus packed register and wire
+// state, one bit per lane. Each lane is a complete, independent circuit
+// instance; lanes step in lockstep but carry their own operands,
+// registers and state frames, and any lane's frame migrates to or from
+// a scalar Instance through the §4.1 frame machinery.
+type LaneInstance struct {
+	prog  *Compiled
+	lp    *laneProg
+	words []uint64 // wire + constant + next-state + temp words
+	ffQ   []uint64 // register words, one per CLB, bit l = lane l
+}
+
+// NewLaneInstance stamps a fresh 64-lane instance with every lane in
+// its power-on state, lowering the lane program on first use.
+func (c *Compiled) NewLaneInstance() *LaneInstance {
+	lp := c.lanes()
+	li := &LaneInstance{
+		prog:  c,
+		lp:    lp,
+		words: make([]uint64, lp.words),
+		ffQ:   make([]uint64, c.spec.CLBs()),
+	}
+	li.words[lp.const1] = ^uint64(0)
+	li.Reset()
+	return li
+}
+
+// Program returns the shared compiled program.
+func (li *LaneInstance) Program() *Compiled { return li.prog }
+
+// Spec reports the array geometry.
+func (li *LaneInstance) Spec() ArraySpec { return li.prog.spec }
+
+// Reset restores every lane's registers to the configured initial
+// values.
+func (li *LaneInstance) Reset() {
+	for i, v := range li.prog.ffInit {
+		li.ffQ[i] = -uint64(v)
+	}
+}
+
+// ResetLane restores one lane's registers to the configured initial
+// values, leaving every other lane untouched.
+func (li *LaneInstance) ResetLane(lane int) {
+	m := uint64(1) << uint(lane&(Lanes-1))
+	for i, v := range li.prog.ffInit {
+		li.ffQ[i] = li.ffQ[i]&^m | uint64(v)<<uint(lane&(Lanes-1))
+	}
+}
+
+// settle drives register outputs, runs the lowered word-op program and
+// latches every flip-flop, sampling nothing: callers sample the output
+// taps between the op run and the edge.
+func (li *LaneInstance) run(init uint64) {
+	w := li.words
+	w[WireInit] = init
+	ffQ := li.ffQ
+	p := li.prog
+	for _, i := range p.ffDrive {
+		w[int(WireCLB0)+int(i)] = ffQ[i]
+	}
+	ops := li.lp.ops
+	for k := range ops {
+		op := &ops[k]
+		switch op.code {
+		case opAnd:
+			w[op.dst] = w[op.a] & w[op.b]
+		case opOr:
+			w[op.dst] = w[op.a] | w[op.b]
+		case opXor:
+			w[op.dst] = w[op.a] ^ w[op.b]
+		case opMux:
+			c := w[op.c]
+			w[op.dst] = c ^ w[op.a]&(w[op.b]^c)
+		case opAndN:
+			w[op.dst] = w[op.a] &^ w[op.b]
+		case opOrN:
+			w[op.dst] = w[op.a] | ^w[op.b]
+		case opNot:
+			w[op.dst] = ^w[op.a]
+		default: // opMov
+			w[op.dst] = w[op.a]
+		}
+	}
+}
+
+// edge clocks every flip-flop after the outputs were sampled.
+func (li *LaneInstance) edge() {
+	w := li.words
+	ffQ := li.ffQ
+	for _, e := range li.prog.pinFF {
+		ffQ[e.q] = w[e.d]
+	}
+	for _, e := range li.lp.latches {
+		ffQ[e.q] = w[e.d]
+	}
+}
+
+// Step advances all 64 lanes by one clock cycle. a and b carry each
+// lane's operand buses, init bit l is lane l's init input, out receives
+// each lane's sampled result bus, and done bit l is lane l's completion
+// output — the same sample-before-edge protocol as Instance.Step, 64
+// circuits per settle.
+func (li *LaneInstance) Step(a, b *[Lanes]uint32, init uint64, out *[Lanes]uint32) (done uint64) {
+	var m [Lanes]uint64
+	for l := 0; l < Lanes; l++ {
+		m[l] = uint64(a[l]) | uint64(b[l])<<32
+	}
+	transpose64(&m)
+	w := li.words
+	for j := 0; j < 32; j++ {
+		w[WireA0+j] = m[j]
+		w[WireB0+j] = m[32+j]
+	}
+	li.run(init)
+	p := li.prog
+	var o [Lanes]uint64
+	for j := 0; j < 32; j++ {
+		o[j] = w[p.outTap[j]]
+	}
+	done = w[p.outTap[32]]
+	transpose64(&o)
+	for l := 0; l < Lanes; l++ {
+		out[l] = uint32(o[l])
+	}
+	li.edge()
+	return done
+}
+
+// StepUniform advances all 64 lanes by one clock with every lane's
+// operand and init inputs held identical — the broadcast fast path the
+// RFU lane adapter uses, where the fleet guarantees all lanes hold
+// identical state. It returns lane 0's outputs, skipping both
+// transposes (a broadcast bit is just 0 or ^0).
+func (li *LaneInstance) StepUniform(a, b uint32, init bool) (out uint32, done bool) {
+	w := li.words
+	for j := 0; j < 32; j++ {
+		w[WireA0+j] = -uint64(a >> j & 1)
+		w[WireB0+j] = -uint64(b >> j & 1)
+	}
+	var iw uint64
+	if init {
+		iw = ^uint64(0)
+	}
+	li.run(iw)
+	p := li.prog
+	for j := 0; j < 32; j++ {
+		out |= uint32(w[p.outTap[j]]&1) << j
+	}
+	done = w[p.outTap[32]]&1 != 0
+	li.edge()
+	return out, done
+}
+
+// SaveLaneFrame reads back one lane's state frame group in the
+// canonical one-byte-per-CLB form — directly loadable into a scalar
+// Instance (or PFU) via LoadFrame, the §4.1 migration path.
+func (li *LaneInstance) SaveLaneFrame(lane int) []uint8 {
+	sh := uint(lane & (Lanes - 1))
+	out := make([]uint8, len(li.ffQ))
+	for i, q := range li.ffQ {
+		out[i] = uint8(q >> sh & 1)
+	}
+	return out
+}
+
+// LoadLaneFrame restores one lane's state frame group, leaving every
+// other lane untouched. Nonzero bytes load as 1.
+func (li *LaneInstance) LoadLaneFrame(lane int, frame []uint8) error {
+	if len(frame) != len(li.ffQ) {
+		return fmt.Errorf("fabric: frame has %d bytes, instance has %d CLBs", len(frame), len(li.ffQ))
+	}
+	sh := uint(lane & (Lanes - 1))
+	m := uint64(1) << sh
+	for i, v := range frame {
+		var bit uint64
+		if v != 0 {
+			bit = m
+		}
+		li.ffQ[i] = li.ffQ[i]&^m | bit
+	}
+	return nil
+}
+
+// SaveFrame reads back lane 0's state frame group — the whole-instance
+// frame under the uniform-lanes contract of StepUniform.
+func (li *LaneInstance) SaveFrame() []uint8 { return li.SaveLaneFrame(0) }
+
+// LoadFrame broadcasts one state frame group to every lane. Nonzero
+// bytes load as 1.
+func (li *LaneInstance) LoadFrame(frame []uint8) error {
+	if len(frame) != len(li.ffQ) {
+		return fmt.Errorf("fabric: frame has %d bytes, instance has %d CLBs", len(frame), len(li.ffQ))
+	}
+	for i, v := range frame {
+		var q uint64
+		if v != 0 {
+			q = ^uint64(0)
+		}
+		li.ffQ[i] = q
+	}
+	return nil
+}
+
+// transpose64 transposes a 64×64 bit matrix in place: bit j of row i
+// moves to bit i of row j (the recursive block-swap of Hacker's
+// Delight, §7-3, widened to 64 and flipped to the bit-index-is-column
+// convention: each round swaps the high-bit halves of the first rows
+// with the low-bit halves of the rows j below).
+func transpose64(a *[Lanes]uint64) {
+	j := uint(32)
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < Lanes; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k]>>j ^ a[k+int(j)]) & m
+			a[k] ^= t << j
+			a[k+int(j)] ^= t
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}

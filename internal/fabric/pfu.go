@@ -183,22 +183,8 @@ func (p *PFU) Step(a, b uint32, init bool) (out uint32, done bool) {
 	return out, done
 }
 
-// SaveState reads back the state frame group: one bit per CLB register.
-// This is the cheap half of the split configuration of §4.1.
-func (p *PFU) SaveState() []bool {
-	st := make([]bool, len(p.ffQ))
-	copy(st, p.ffQ)
-	return st
-}
-
-// LoadState restores a state frame group.
-func (p *PFU) LoadState(state []bool) error {
-	if len(state) != len(p.ffQ) {
-		return fmt.Errorf("fabric: state has %d bits, PFU has %d CLBs", len(state), len(p.ffQ))
-	}
-	copy(p.ffQ, state)
-	return nil
-}
+// State capture lives in frame.go: SaveFrame/LoadFrame exchange the
+// canonical one-byte-per-CLB frame, with deprecated []bool shims.
 
 // Spec reports the array geometry.
 func (p *PFU) Spec() ArraySpec { return p.cfg.Spec }

@@ -220,13 +220,18 @@ func TestRandomNetlistsPlaceAndSimulate(t *testing.T) {
 	}
 }
 
-// TestRandomNetlistsCompiledVsPFUVsSim is the three-way differential
-// property test of the execution substrates: for random netlists, the
-// compiled engine, the interpretive PFU and the functional netlist
-// simulator must agree on every output of every cycle — including after a
-// state frame group is saved mid-execution and restored into a *fresh*
-// compiled instance and a fresh PFU (the §4.1 split-configuration swap).
-func TestRandomNetlistsCompiledVsPFUVsSim(t *testing.T) {
+// TestRandomNetlistsLanesVsCompiledVsPFUVsSim is the four-way
+// differential property test of the execution substrates: for random
+// netlists, the bit-sliced lane engine, the compiled scalar engine, the
+// interpretive PFU and the functional netlist simulator must agree on
+// every output of every cycle. Lane 0 carries the trial operands the
+// three scalar engines see; a second randomly chosen lane carries its
+// own operands against a scalar shadow instance. Mid-execution the
+// state frame group is saved and restored into fresh engines — compiled
+// and PFU swap frames as before, and the shadow lane's frame migrates
+// into a fresh scalar Instance while the scalar frame reloads into the
+// lane (the §4.1 split-configuration swap, per lane).
+func TestRandomNetlistsLanesVsCompiledVsPFUVsSim(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 25; trial++ {
 		n, _ := randomCircuit(rng, 5+rng.Intn(80), rng.Intn(10))
@@ -256,13 +261,21 @@ func TestRandomNetlistsCompiledVsPFUVsSim(t *testing.T) {
 			t.Fatalf("trial %d compile: %v", trial, err)
 		}
 		inst := prog.NewInstance()
+		lanes := prog.NewLaneInstance()
 		for rep := 0; rep < 4; rep++ {
-			a, b := rng.Uint32(), rng.Uint32()
+			var la, lb, lout [Lanes]uint32
+			for l := 0; l < Lanes; l++ {
+				la[l], lb[l] = rng.Uint32(), rng.Uint32()
+			}
+			a, b := la[0], lb[0]
+			sl := 1 + rng.Intn(Lanes-1) // the shadowed lane
+			shadow := prog.NewInstance()
 			steps := 2 + rng.Intn(6)
 			swapAt := 1 + rng.Intn(steps) // swap mid-execution after this step
 			sim.Reset()
 			pfu.Reset()
 			inst.Reset()
+			lanes.Reset()
 			sim.SetInput("a", uint64(a))
 			sim.SetInput("b", uint64(b))
 			for s := 0; s < steps; s++ {
@@ -277,27 +290,42 @@ func TestRandomNetlistsCompiledVsPFUVsSim(t *testing.T) {
 				sim.Step()
 				pfuOut, pfuDone := pfu.Step(a, b, initBit)
 				cOut, cDone := inst.Step(a, b, initBit)
-				if cOut != pfuOut || cOut != uint32(simOut) {
-					t.Fatalf("trial %d rep %d step %d: compiled %#x, PFU %#x, sim %#x",
-						trial, rep, s, cOut, pfuOut, simOut)
+				var initMask uint64
+				if initBit {
+					initMask = ^uint64(0)
 				}
-				if cDone != pfuDone {
-					t.Fatalf("trial %d rep %d step %d: done compiled=%v PFU=%v",
-						trial, rep, s, cDone, pfuDone)
+				lDone := lanes.Step(&la, &lb, initMask, &lout)
+				shOut, shDone := shadow.Step(la[sl], lb[sl], initBit)
+				if cOut != pfuOut || cOut != uint32(simOut) || cOut != lout[0] {
+					t.Fatalf("trial %d rep %d step %d: compiled %#x, PFU %#x, sim %#x, lane0 %#x",
+						trial, rep, s, cOut, pfuOut, simOut, lout[0])
+				}
+				if cDone != pfuDone || cDone != (lDone&1 != 0) {
+					t.Fatalf("trial %d rep %d step %d: done compiled=%v PFU=%v lane0=%v",
+						trial, rep, s, cDone, pfuDone, lDone&1 != 0)
+				}
+				if lout[sl] != shOut || lDone>>uint(sl)&1 != 0 != shDone {
+					t.Fatalf("trial %d rep %d step %d: lane %d (%#x,%v) vs shadow (%#x,%v)",
+						trial, rep, s, sl, lout[sl], lDone>>uint(sl)&1 != 0, shOut, shDone)
 				}
 				if s+1 == swapAt {
-					// Save state frames from both engines: they must agree
-					// bit for bit, and each must restore into a fresh
-					// instance of the *other* engine.
-					cState := inst.SaveState()
-					pState := pfu.SaveState()
-					for i := range cState {
-						if cState[i] != pState[i] {
-							t.Fatalf("trial %d rep %d: state frame bit %d differs", trial, rep, i)
+					// Save state frames from every engine: they must agree
+					// byte for byte, and each must restore into a fresh
+					// instance of another engine.
+					cFrame := inst.SaveFrame()
+					pFrame := pfu.SaveFrame()
+					laneFrame := lanes.SaveLaneFrame(sl)
+					shFrame := shadow.SaveFrame()
+					for i := range cFrame {
+						if cFrame[i] != pFrame[i] {
+							t.Fatalf("trial %d rep %d: state frame byte %d differs", trial, rep, i)
+						}
+						if laneFrame[i] != shFrame[i] {
+							t.Fatalf("trial %d rep %d: lane %d frame byte %d differs", trial, rep, sl, i)
 						}
 					}
 					fresh := prog.NewInstance()
-					if err := fresh.LoadState(pState); err != nil {
+					if err := fresh.LoadFrame(pFrame); err != nil {
 						t.Fatal(err)
 					}
 					inst = fresh
@@ -305,10 +333,21 @@ func TestRandomNetlistsCompiledVsPFUVsSim(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if err := freshPFU.LoadState(cState); err != nil {
+					if err := freshPFU.LoadFrame(cFrame); err != nil {
 						t.Fatal(err)
 					}
 					pfu = freshPFU
+					// Lane <-> scalar migration: the lane's frame seeds a
+					// fresh scalar shadow, the scalar frame reloads into
+					// the lane, and both continue in lockstep.
+					freshShadow := prog.NewInstance()
+					if err := freshShadow.LoadFrame(laneFrame); err != nil {
+						t.Fatal(err)
+					}
+					shadow = freshShadow
+					if err := lanes.LoadLaneFrame(sl, shFrame); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 		}

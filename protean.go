@@ -108,7 +108,7 @@ func New(opts ...Option) (*Session, error) {
 
 	m := machine.New(machine.Config{
 		ConfigBytesPerCycle: c.scale.ConfigBytesPerCycle(),
-		RFU:                 core.Config{PFUs: c.pfus, TLB1Entries: c.tlb1},
+		RFU:                 core.Config{PFUs: c.pfus, TLB1Entries: c.tlb1, Lanes: c.lanes},
 	})
 	var tl *trace.Log
 	if c.traceCap > 0 {
