@@ -7,6 +7,7 @@ package protean_test
 
 import (
 	"context"
+	"io"
 	"testing"
 	"time"
 
@@ -125,6 +126,89 @@ func BenchmarkClusterLaneBatching(b *testing.B) {
 	}
 	if scalarPerRun > 0 {
 		b.ReportMetric(jobs/scalarPerRun, "scalar-jobs/sec")
+	}
+}
+
+// BenchmarkFleet1kNodes measures fleet job throughput at the 1k-node
+// scale the cluster layer is sized for: 512 thrash-mix jobs placed by
+// the affinity dispatcher across 1000 nodes, lane batching on.
+func BenchmarkFleet1kNodes(b *testing.B) {
+	const nodes, jobs = 1000, 512
+	run := func() *protean.FleetResult {
+		c, err := protean.NewCluster(
+			protean.WithNodes(nodes),
+			protean.WithStoreSlots(2),
+			protean.WithClusterSeed(7),
+			protean.WithPlacement(protean.PlaceAffinity),
+			protean.WithNodeOptions(
+				protean.WithScale(800),
+				protean.WithQuantum(protean.Quantum1ms/800),
+			),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rotation := []string{"alpha/hw-nosoft", "twofish/hw-nosoft", "echo/hw-nosoft"}
+		for i := 0; i < jobs; i++ {
+			if err := c.Submit(rotation[i%len(rotation)], 2, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fr, err := c.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fr
+	}
+	b.ReportAllocs()
+	var fr *protean.FleetResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr = run()
+	}
+	b.StopTimer()
+	perRun := b.Elapsed().Seconds() / float64(b.N)
+	if perRun > 0 {
+		b.ReportMetric(jobs/perRun, "jobs/sec")
+	}
+	b.ReportMetric(float64(fr.Makespan), "makespan-cycles")
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on a
+// fleet scenario run: the timed loop runs untraced, then one probe run
+// with Chrome tracing and metrics enabled measures the traced cost, and
+// the ratio is reported as obs-overhead-x (1.0 = free). The contract in
+// DESIGN.md is that untraced runs pay nothing and traced runs stay cheap
+// because emission happens replay-side, after the simulation.
+func BenchmarkObsOverhead(b *testing.B) {
+	scenario := func() protean.Scenario {
+		sc := testScenario(9)
+		sc.Arrivals = protean.ArrivalSpec{Process: protean.ArrivalPoisson, MeanGap: 30_000}
+		sc.Admission = protean.AdmissionSpec{Bound: 1, Policy: protean.AdmissionDefer}
+		sc.Placement = protean.PlacementSpec{Policy: "affinity"}
+		return sc
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := protean.RunScenario(context.Background(), scenario()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	untracedPerRun := b.Elapsed().Seconds() / float64(b.N)
+	start := time.Now()
+	fr, err := protean.RunScenario(context.Background(), scenario(),
+		protean.WithRunTrace(io.Discard), protean.WithRunMetrics())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fr.Metrics == nil {
+		b.Fatal("traced run produced no metrics snapshot")
+	}
+	tracedPerRun := time.Since(start).Seconds()
+	if untracedPerRun > 0 {
+		b.ReportMetric(tracedPerRun/untracedPerRun, "obs-overhead-x")
 	}
 }
 

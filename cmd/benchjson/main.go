@@ -1,22 +1,25 @@
-// Command benchjson regenerates BENCH_fabric.json, the tracked
-// performance trajectory of the simulation substrates: it runs the
-// substrate benchmark suite for one iteration and records every
-// reported metric (ns/op, allocs, and the custom metrics the
-// benchmarks emit — speedup-vs-gate-x, lanes-speedup-x,
-// batching-speedup-x, cones-proved-per-sec, ...) as a benchmark-name →
-// metric map.
+// Command benchjson regenerates the tracked performance trajectories:
+// BENCH_fabric.json (the simulation substrates — PFU settle engines,
+// configuration loads, bitstream decode, the equivalence prover) and
+// BENCH_cluster.json (the fleet layer — placement, lane batching, job
+// throughput at 1k-node scale, and the observability overhead ratio of
+// a traced versus untraced run). Each file runs its benchmark suite for
+// one iteration and records every reported metric (ns/op, allocs, and
+// the custom metrics the benchmarks emit — speedup-vs-gate-x,
+// jobs/sec, obs-overhead-x, ...) as a benchmark-name → metric map.
 //
 // Metric values drift with hardware and load, so CI does not pin them;
-// it runs `benchjson -check`, which regenerates the suite and fails
+// it runs `benchjson -check`, which regenerates the suites and fails
 // only on schema drift — a benchmark or metric that appeared in or
-// vanished from the committed file. That keeps the trajectory file
+// vanished from a committed file. That keeps the trajectory files
 // honest: adding a benchmark (or losing one) forces a regeneration in
 // the same commit.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson            # rewrite BENCH_fabric.json
+//	go run ./cmd/benchjson            # rewrite both trajectory files
 //	go run ./cmd/benchjson -check     # fail on schema drift, ignore values
+//	go run ./cmd/benchjson -only BENCH_cluster.json
 package main
 
 import (
@@ -31,24 +34,43 @@ import (
 	"strings"
 )
 
-// suite pins which benchmarks feed the trajectory: the fabric/cluster
-// substrate microbenchmarks in the root package (PFU settle engines,
-// configuration loads, lane batching) and the fabric equivalence
-// prover. The figure sweeps are excluded — they regenerate paper
-// plots, not substrate performance.
-var suite = []struct {
+// benchRun is one `go test -bench` invocation feeding a trajectory.
+type benchRun struct {
 	pkg   string
 	bench string
-}{
-	{".", "^(BenchmarkBehaviouralPFU|BenchmarkGatePFU|BenchmarkCompiledPFU|BenchmarkLanesPFU|" +
-		"BenchmarkConfigLoad|BenchmarkConfigLoadGate|BenchmarkInstanceStampOut|BenchmarkBitstreamDecode|" +
-		"BenchmarkTLBLookup|BenchmarkClusterAffinityVsRoundRobin|BenchmarkClusterLaneBatching)$"},
-	{"./internal/fabric", "^BenchmarkEquiv$"},
 }
 
-const trajectoryFile = "BENCH_fabric.json"
+// suites pins which benchmarks feed each trajectory file. The figure
+// sweeps are excluded — they regenerate paper plots, not substrate or
+// fleet performance.
+var suites = []struct {
+	file    string
+	comment string
+	runs    []benchRun
+}{
+	{
+		file: "BENCH_fabric.json",
+		comment: "substrate performance trajectory; regenerate with `go run ./cmd/benchjson` " +
+			"(CI checks only the schema - benchmark names and metric keys - not the values)",
+		runs: []benchRun{
+			{".", "^(BenchmarkBehaviouralPFU|BenchmarkGatePFU|BenchmarkCompiledPFU|BenchmarkLanesPFU|" +
+				"BenchmarkConfigLoad|BenchmarkConfigLoadGate|BenchmarkInstanceStampOut|BenchmarkBitstreamDecode|" +
+				"BenchmarkTLBLookup)$"},
+			{"./internal/fabric", "^BenchmarkEquiv$"},
+		},
+	},
+	{
+		file: "BENCH_cluster.json",
+		comment: "fleet performance trajectory; regenerate with `go run ./cmd/benchjson` " +
+			"(CI checks only the schema - benchmark names and metric keys - not the values)",
+		runs: []benchRun{
+			{".", "^(BenchmarkClusterAffinityVsRoundRobin|BenchmarkClusterLaneBatching|" +
+				"BenchmarkFleet1kNodes|BenchmarkObsOverhead)$"},
+		},
+	},
+}
 
-// trajectory is the on-disk shape of BENCH_fabric.json.
+// trajectory is the on-disk shape of a trajectory file.
 type trajectory struct {
 	// Comment explains the file to readers stumbling on it in the tree.
 	Comment string `json:"comment"`
@@ -63,54 +85,64 @@ type trajectory struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func main() {
-	check := flag.Bool("check", false, "regenerate and fail on schema drift against the committed file (values are not compared)")
-	out := flag.String("o", trajectoryFile, "output file")
+	check := flag.Bool("check", false, "regenerate and fail on schema drift against the committed files (values are not compared)")
+	only := flag.String("only", "", "limit to one trajectory file (e.g. BENCH_cluster.json)")
 	flag.Parse()
 
-	got, err := run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-
-	if *check {
-		want, err := load(*out)
+	matched := false
+	for _, s := range suites {
+		if *only != "" && s.file != *only {
+			continue
+		}
+		matched = true
+		got, err := run(s.comment, s.runs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		if drift := schemaDrift(want.Benchmarks, got.Benchmarks); len(drift) > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: schema drift against %s:\n", *out)
-			for _, d := range drift {
-				fmt.Fprintln(os.Stderr, "  "+d)
+
+		if *check {
+			want, err := load(s.file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
 			}
-			fmt.Fprintln(os.Stderr, "regenerate with: go run ./cmd/benchjson")
+			if drift := schemaDrift(want.Benchmarks, got.Benchmarks); len(drift) > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: schema drift against %s:\n", s.file)
+				for _, d := range drift {
+					fmt.Fprintln(os.Stderr, "  "+d)
+				}
+				fmt.Fprintln(os.Stderr, "regenerate with: go run ./cmd/benchjson")
+				os.Exit(1)
+			}
+			fmt.Printf("benchjson: schema matches %s (%d benchmarks)\n", s.file, len(got.Benchmarks))
+			continue
+		}
+
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchjson: schema matches %s (%d benchmarks)\n", *out, len(got.Benchmarks))
-		return
+		if err := os.WriteFile(s.file, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", s.file, len(got.Benchmarks))
 	}
-
-	buf, err := json.MarshalIndent(got, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
+	if !matched {
+		fmt.Fprintf(os.Stderr, "benchjson: -only %s matches no trajectory file\n", *only)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(got.Benchmarks))
 }
 
-// run executes the pinned suite and parses every metric it reports.
-func run() (*trajectory, error) {
+// run executes one pinned suite and parses every metric it reports.
+func run(comment string, runs []benchRun) (*trajectory, error) {
 	tr := &trajectory{
-		Comment: "substrate performance trajectory; regenerate with `go run ./cmd/benchjson` " +
-			"(CI checks only the schema - benchmark names and metric keys - not the values)",
+		Comment:    comment,
 		Benchmarks: make(map[string]map[string]float64),
 	}
-	for _, s := range suite {
+	for _, s := range runs {
 		cmd := exec.Command("go", "test", "-run", "^$", "-bench", s.bench, "-benchtime", "1x", "-count", "1", s.pkg)
 		outBuf, err := cmd.CombinedOutput()
 		if err != nil {

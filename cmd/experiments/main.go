@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	experiments [-fig 2|3|ablations|claims|cluster|admission|all] [-scale N] [-seed S] [-workers N] [-csv dir] [-quiet]
+//	experiments [-fig 2|3|ablations|claims|cluster|admission|all] [-scale N] [-seed S] [-workers N] [-csv dir] [-metrics dir] [-quiet]
 //
 // -scale divides the paper-size experiment (see internal/exp.Scale); the
 // default of 100 reproduces every figure in a couple of minutes. -scale 1
 // is the full-size run (~10^8–10^9 cycles per point).
+//
+// -metrics writes a Prometheus-style exposition per figure
+// (<figure>_metrics.prom) summarising the plotted data: series count,
+// point count and the distribution of y values in modeled cycles. The
+// dumps derive only from figure data, so they are byte-identical for
+// any worker count, like the figures themselves.
 //
 // -workers sizes the sweep worker pool (default: GOMAXPROCS). Every sweep
 // cell is an independent simulation, so the figures are identical for any
@@ -26,6 +32,7 @@ import (
 
 	"protean"
 	"protean/internal/exp"
+	"protean/internal/obs"
 )
 
 func main() {
@@ -34,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for the random replacement policy")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write CSV files into")
+	metricsDir := flag.String("metrics", "", "directory to write per-figure metrics expositions into")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress")
 	twofish3 := flag.Bool("fig3-twofish", false, "include the twofish series the paper omits from figure 3")
 	flag.Parse()
@@ -47,13 +55,36 @@ func main() {
 		sw.Progress = protean.WriterSink(os.Stderr)
 	}
 
-	if err := run(*fig, sw, *csvDir, *twofish3, os.Stdout); err != nil {
+	if err := run(*fig, sw, *csvDir, *metricsDir, *twofish3, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writer) error {
+// figureMetrics summarises a figure's plotted data as a deterministic
+// metrics snapshot: everything derives from Series contents, never from
+// host timing, so the exposition is reproducible run to run.
+func figureMetrics(f *exp.Figure) obs.Snapshot {
+	r := obs.NewRegistry()
+	r.Gauge("experiments_series", "series plotted in the figure").Set(int64(len(f.Series)))
+	points := r.Counter("experiments_points_total", "data points across all series")
+	y := r.Histogram("experiments_y_cycles", "distribution of plotted y values (modeled cycles)",
+		obs.ExpBuckets(1024, 4, 12))
+	var max uint64
+	for _, s := range f.Series {
+		for _, v := range s.Y {
+			points.Inc()
+			y.Observe(v)
+			if v > max {
+				max = v
+			}
+		}
+	}
+	r.Gauge("experiments_y_max_cycles", "largest plotted y value (modeled cycles)").Set(int64(max))
+	return r.Snapshot()
+}
+
+func run(which string, sw exp.Sweeper, csvDir, metricsDir string, twofish3 bool, out io.Writer) error {
 	switch which {
 	case "2", "3", "ablations", "claims", "cluster", "admission", "all":
 	default:
@@ -67,6 +98,16 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 			return err
 		}
 		return os.WriteFile(filepath.Join(csvDir, name), []byte(f.CSV()), 0o644)
+	}
+	saveMetrics := func(base string, f *exp.Figure) error {
+		if metricsDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(metricsDir, 0o755); err != nil {
+			return err
+		}
+		snap := figureMetrics(f)
+		return os.WriteFile(filepath.Join(metricsDir, base+"_metrics.prom"), []byte(snap.Prom()), 0o644)
 	}
 
 	var fig2, fig3 *exp.Figure
@@ -82,6 +123,9 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 		if err := saveCSV("figure2.csv", fig2); err != nil {
 			return err
 		}
+		if err := saveMetrics("figure2", fig2); err != nil {
+			return err
+		}
 	}
 	if which == "3" || which == "all" || which == "claims" {
 		fig3, err = sw.Figure3(twofish3)
@@ -91,6 +135,9 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 		fmt.Fprintln(out, fig3.ASCII(64, 20))
 		fmt.Fprintln(out, fig3.Table())
 		if err := saveCSV("figure3.csv", fig3); err != nil {
+			return err
+		}
+		if err := saveMetrics("figure3", fig3); err != nil {
 			return err
 		}
 	}
@@ -120,6 +167,9 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 		if err := saveCSV("ablation_policies.csv", a1); err != nil {
 			return err
 		}
+		if err := saveMetrics("ablation_policies", a1); err != nil {
+			return err
+		}
 
 		a2, err := sw.ConfigSplitAblation()
 		if err != nil {
@@ -127,6 +177,9 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 		}
 		fmt.Fprintln(out, a2.Table())
 		if err := saveCSV("ablation_split.csv", a2); err != nil {
+			return err
+		}
+		if err := saveMetrics("ablation_split", a2); err != nil {
 			return err
 		}
 
@@ -146,6 +199,9 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 			return err
 		}
 		fmt.Fprintln(out, a4.Table())
+		if err := saveMetrics("ablation_quantum", a4); err != nil {
+			return err
+		}
 
 		a5, err := sw.SharingAblation()
 		if err != nil {
@@ -153,6 +209,9 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 		}
 		fmt.Fprintln(out, a5.Table())
 		if err := saveCSV("ablation_sharing.csv", a5); err != nil {
+			return err
+		}
+		if err := saveMetrics("ablation_sharing", a5); err != nil {
 			return err
 		}
 
@@ -186,6 +245,9 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 		if err := saveCSV("ablation_mixed.csv", a8); err != nil {
 			return err
 		}
+		if err := saveMetrics("ablation_mixed", a8); err != nil {
+			return err
+		}
 	}
 
 	if which == "cluster" || which == "all" {
@@ -202,6 +264,12 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 		if err := saveCSV("cluster_configloads.csv", f1l); err != nil {
 			return err
 		}
+		if err := saveMetrics("cluster_makespan", f1m); err != nil {
+			return err
+		}
+		if err := saveMetrics("cluster_configloads", f1l); err != nil {
+			return err
+		}
 	}
 
 	if which == "admission" || which == "all" {
@@ -216,6 +284,12 @@ func run(which string, sw exp.Sweeper, csvDir string, twofish3 bool, out io.Writ
 			return err
 		}
 		if err := saveCSV("cluster_admission_shed.csv", f2s); err != nil {
+			return err
+		}
+		if err := saveMetrics("cluster_admission_tail", f2t); err != nil {
+			return err
+		}
+		if err := saveMetrics("cluster_admission_shed", f2s); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,14 @@
 //	proteansim -app alpha|twofish|echo|mix -n 4 [-quantum cycles]
 //	           [-policy rr|random|lru|2chance] [-soft] [-sharing]
 //	           [-items N] [-scale N] [-trace] [-progress] [-lint] [-sta]
+//	           [-trace-out f.json] [-metrics]
+//
+// -trace-out writes the run's modeled-cycle timeline as Chrome
+// trace-event JSON — open the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. -metrics prints a deterministic metrics snapshot in
+// the Prometheus text format after the report. Both compose with -app
+// (per-process tracks) and with -scenario (per-node fleet tracks); the
+// emitted bytes depend only on the modeled run, never on worker count.
 //
 // -lint lints every circuit image the spawned programs register (dead
 // logic, constant LUTs, unused flip-flops, floating inputs — see
@@ -84,6 +92,8 @@ func main() {
 	slots := flag.Int("slots", 0, "cluster: per-node bitstream store slots (0 = default)")
 	gap := flag.Uint64("gap", 0, "cluster: mean inter-arrival gap in cycles (0 = batch arrivals)")
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON file); only -progress applies alongside")
+	traceOut := flag.String("trace-out", "", "write the run's modeled-cycle timeline as Chrome trace-event JSON to this file (view in Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the run's metrics snapshot (Prometheus text format) to stdout after the report")
 	flag.Parse()
 
 	// A stray positional argument stops flag parsing, silently dropping
@@ -108,7 +118,7 @@ func main() {
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "progress", "lint", "sta":
+			case "scenario", "progress", "lint", "sta", "trace-out", "metrics":
 			default:
 				conflicts = append(conflicts, "-"+f.Name)
 			}
@@ -116,17 +126,17 @@ func main() {
 		if len(conflicts) > 0 {
 			err = fmt.Errorf("-scenario takes the whole configuration from the spec file; drop %s", strings.Join(conflicts, ", "))
 		} else {
-			err = runScenario(*scenarioPath, *progress, *lintW, *staW)
+			err = runScenario(*scenarioPath, *progress, *lintW, *staW, *traceOut, *metrics)
 		}
 	} else if *clusterMode {
-		if *showTrace || *disasmN > 0 || *lintW || *staW {
-			err = fmt.Errorf("-trace, -disasm, -lint and -sta are per-session debugging aids and are not supported with -cluster; run the same fleet as a -scenario spec to analyse it")
+		if *showTrace || *disasmN > 0 || *lintW || *staW || *traceOut != "" || *metrics {
+			err = fmt.Errorf("-trace, -disasm, -lint, -sta, -trace-out and -metrics are per-session or spec-level aids and are not supported with -cluster; run the same fleet as a -scenario spec to analyse it")
 		} else {
 			err = runCluster(*appName, *jobs, *n, *nodes, *placement, *slots, *gap,
 				uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *progress, *gate)
 		}
 	} else {
-		err = run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN, *lintW, *staW)
+		err = run(*appName, *n, uint32(*quantum), *policy, *soft, *sharing, *items, *scaleF, *seed, *showTrace, *progress, *gate, *disasmN, *lintW, *staW, *traceOut, *metrics)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proteansim:", err)
@@ -190,7 +200,7 @@ func runCluster(appName string, jobs, perJob, nodes int, placementName string, s
 // runScenario runs the -scenario mode: the whole fleet description —
 // nodes, arrivals, admission, placement, jobs — comes from one JSON
 // spec file.
-func runScenario(path string, progress, lint, sta bool) error {
+func runScenario(path string, progress, lint, sta bool, traceOut string, metrics bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -199,7 +209,13 @@ func runScenario(path string, progress, lint, sta bool) error {
 	if err != nil {
 		return err
 	}
+	if traceOut != "" {
+		sc.TraceOut = traceOut
+	}
 	var opts []protean.StartOption
+	if metrics {
+		opts = append(opts, protean.WithRunMetrics())
+	}
 	if progress {
 		opts = append(opts, protean.WithRunProgress(protean.WriterSink(os.Stderr)))
 	}
@@ -221,7 +237,16 @@ func runScenario(path string, progress, lint, sta bool) error {
 	if err != nil {
 		return err
 	}
-	return printFleet(fr)
+	ferr := printFleet(fr)
+	if fr.Metrics != nil {
+		// The snapshot is a diagnostic; print it even when verification
+		// failed — that is exactly when it is most wanted.
+		fmt.Println("\nmetrics:")
+		if err := fr.Metrics.WriteProm(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return ferr
 }
 
 // printFleet renders the fleet report shared by -cluster and -scenario:
@@ -310,7 +335,7 @@ func diagSink(lint, sta bool) protean.Sink {
 	})
 }
 
-func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, progress, gate bool, disasmN int, lint, sta bool) error {
+func run(appName string, n int, quantum uint32, policyName string, soft, sharing bool, items, scaleF int, seed int64, showTrace, progress, gate bool, disasmN int, lint, sta bool, traceOut string, metrics bool) error {
 	pol, err := protean.ParsePolicy(policyName)
 	if err != nil {
 		return err
@@ -343,6 +368,18 @@ func run(appName string, n int, quantum uint32, policyName string, soft, sharing
 	}
 	if disasmN > 0 {
 		opts = append(opts, protean.WithDisasm(os.Stderr, disasmN))
+	}
+	if metrics {
+		opts = append(opts, protean.WithMetrics())
+	}
+	var traceFile *os.File
+	if traceOut != "" {
+		traceFile, err = os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		opts = append(opts, protean.WithTraceOut(traceFile))
 	}
 	names, err := parseApps(appName, gate)
 	if err != nil {
@@ -391,6 +428,17 @@ func run(appName string, n int, quantum uint32, policyName string, soft, sharing
 	if showTrace {
 		fmt.Println("\nevent trace (most recent):")
 		fmt.Print(res.Trace)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+	}
+	if res.Metrics != nil {
+		fmt.Println("\nmetrics:")
+		if err := res.Metrics.WriteProm(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return res.Err()
 }

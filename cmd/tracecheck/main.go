@@ -1,0 +1,44 @@
+// Command tracecheck validates Chrome trace-event JSON files emitted by
+// proteansim -trace-out (or any WithTraceOut/Scenario.TraceOut run): the
+// file must parse, traceEvents must be non-empty, and every (pid, tid)
+// track's timestamps must be monotone non-decreasing — the properties
+// Perfetto needs to render a sane timeline. CI runs it over a traced
+// scenario so a regression in the exporter fails fast.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+//
+// Exits 0 when every file validates; prints the first problem per file
+// and exits 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"protean/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateChromeTrace(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("tracecheck: %s: ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

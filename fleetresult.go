@@ -99,6 +99,9 @@ type FleetResult struct {
 	CIS    CISStats
 	Kernel KernelStats
 	RFU    RFUStats
+	// Metrics is the run's deterministic metrics snapshot, when
+	// Scenario.Metrics or WithRunMetrics enabled it; nil otherwise.
+	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
 // ConfigLoads returns the total full configuration loads anywhere in the

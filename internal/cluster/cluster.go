@@ -30,10 +30,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"protean/internal/conc"
+	"protean/internal/obs"
 	"protean/internal/rng"
 )
 
@@ -552,7 +554,11 @@ func Execute(cfg Config, jobs []Job, run Runner) ([][]Exec, error) {
 				i := chunk[0]
 				seed := rng.Derive(cfg.Seed, streamJob, uint64(i))
 				cells = append(cells, func() (cellOut, error) {
-					e, err := run(i, class, seed)
+					var e Exec
+					var err error
+					obs.Task(context.Background(), "fleet-job", fmt.Sprintf("%s/c%d", jobs[i].Label, class), func() {
+						e, err = run(i, class, seed)
+					})
 					if err != nil {
 						return cellOut{}, fmt.Errorf("cluster: job %d (%s) class %d: %w", i, jobs[i].Label, class, err)
 					}
@@ -568,7 +574,11 @@ func Execute(cfg Config, jobs []Job, run Runner) ([][]Exec, error) {
 				for k, i := range chunk {
 					seeds[k] = rng.Derive(cfg.Seed, streamJob, uint64(i))
 				}
-				es, err := cfg.BatchRunner(chunk, class, seeds)
+				var es []Exec
+				var err error
+				obs.Task(context.Background(), "fleet-batch", fmt.Sprintf("%s×%d/c%d", jobs[chunk[0]].Label, len(chunk), class), func() {
+					es, err = cfg.BatchRunner(chunk, class, seeds)
+				})
 				if err != nil {
 					return cellOut{}, fmt.Errorf("cluster: batch of %d jobs (%s, first job %d) class %d: %w",
 						len(chunk), jobs[chunk[0]].Label, chunk[0], class, err)

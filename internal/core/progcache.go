@@ -42,3 +42,9 @@ func sharedProgram(key ConfigKey, bits []byte) (*fabric.Compiled, error) {
 		return fabric.Compile(img.Config)
 	})
 }
+
+// ProgramCacheStats reads the process-wide compiled-program cache's
+// traffic counters, for host-side metrics. The values depend on which
+// goroutine won each build race — host observability, never part of a
+// deterministic snapshot.
+func ProgramCacheStats() memo.CacheStats { return programCache.Stats() }

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"protean"
 	"protean/internal/conc"
+	"protean/internal/obs"
 	"protean/internal/rng"
 )
 
@@ -72,7 +74,19 @@ func (sw Sweeper) instanceGrid(fig *Figure, rows []gridSeries) (*Figure, error) 
 	var cells []func() (uint64, error)
 	for _, r := range rows {
 		for n := 1; n <= MaxInstances; n++ {
-			cells = append(cells, func() (uint64, error) { return r.run(n) })
+			// Label each cell for host CPU profiles: samples attribute to
+			// "sweep-cell" → "<series>/n=<instances>" instead of anonymous
+			// pool goroutines.
+			name := fmt.Sprintf("%s/n=%d", r.label, n)
+			run, n := r.run, n
+			cells = append(cells, func() (uint64, error) {
+				var y uint64
+				var err error
+				obs.Task(context.Background(), "sweep-cell", name, func() {
+					y, err = run(n)
+				})
+				return y, err
+			})
 		}
 	}
 	ys, err := Sweep(sw.Workers, cells)

@@ -1,0 +1,33 @@
+package kernel
+
+import "protean/internal/obs"
+
+// Observe registers the scheduler aggregates into r. Called from serial
+// replay-side code (the facade's result assembly), never from the
+// simulation hot path.
+func (s KernelStats) Observe(r *obs.Registry) {
+	r.Counter("protean_kernel_context_switches_total", "context switches").Add(s.ContextSwitches)
+	r.Counter("protean_kernel_timer_irqs_total", "timer interrupts taken").Add(s.TimerIRQs)
+	r.Counter("protean_kernel_syscalls_total", "system calls").Add(s.Syscalls)
+	r.Counter("protean_kernel_kills_total", "processes killed by the kernel").Add(s.Kills)
+	r.Counter("protean_kernel_cycles_total", "cycles spent in the kernel").Add(s.KernelCycles)
+	r.Counter("protean_kernel_irq_latency_cycles_total", "summed timer-to-IRQ-entry latency").Add(s.SumIRQLatency)
+	g := r.Gauge("protean_kernel_irq_latency_max_cycles", "worst timer-to-IRQ-entry latency")
+	if int64(s.MaxIRQLatency) > g.Value() {
+		g.Set(int64(s.MaxIRQLatency))
+	}
+}
+
+// Observe registers the Custom Instruction Scheduler aggregates into r.
+func (s CISStats) Observe(r *obs.Registry) {
+	r.Counter("protean_cis_faults_total", "dispatch faults delivered to the CIS").Add(s.Faults)
+	r.Counter("protean_cis_mapping_faults_total", "faults resolved by TLB reinstall only").Add(s.MappingFaults)
+	r.Counter("protean_cis_config_loads_total", "full configuration loads").Add(s.Loads)
+	r.Counter("protean_cis_state_restores_total", "configuration loads with state restore").Add(s.Restores)
+	r.Counter("protean_cis_evictions_total", "circuits swapped off the array").Add(s.Evictions)
+	r.Counter("protean_cis_soft_maps_total", "faults resolved to the software alternative").Add(s.SoftMaps)
+	r.Counter("protean_cis_share_hits_total", "faults resolved by sharing a resident instance").Add(s.ShareHits)
+	r.Counter("protean_cis_config_bytes_total", "configuration-port traffic").Add(s.ConfigBytes)
+	r.Counter("protean_cis_config_cycles_total", "cycles on the configuration port").Add(s.ConfigCycles)
+	r.Counter("protean_cis_page_ins_total", "bitstream page-ins charged").Add(s.PageIns)
+}

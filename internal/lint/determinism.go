@@ -18,6 +18,7 @@ var DeterminismBound = []string{
 	"protean/internal/core",
 	"protean/internal/exp",
 	"protean/internal/fabric",
+	"protean/internal/obs",
 }
 
 // Determinism is the default-bound determinism analyzer.

@@ -6,11 +6,12 @@ import (
 	"protean/internal/lint/atest"
 )
 
-// TestDeterminism binds the analyzer to the dtm testdata package and
+// TestDeterminism binds the analyzer to the dtm and expo testdata
+// packages (expo models an obs-style metrics exposition path) and
 // checks that the unbound package passes vacuously.
 func TestDeterminism(t *testing.T) {
-	a := NewDeterminism([]string{"dtm"})
-	atest.Run(t, "testdata", a, "dtm", "unbound")
+	a := NewDeterminism([]string{"dtm", "expo"})
+	atest.Run(t, "testdata", a, "dtm", "expo", "unbound")
 }
 
 func TestSeedflow(t *testing.T) {
@@ -22,8 +23,10 @@ func TestSinksafe(t *testing.T) {
 }
 
 // TestDefaultBinding pins the deterministic package set: the analyzers
-// advertise the facade and the four internal engines ROADMAP.md calls
-// load-bearing. Growing the module should grow this list consciously.
+// advertise the facade, the four internal engines ROADMAP.md calls
+// load-bearing, and the observability layer (whose exposition paths
+// must render byte-identically). Growing the module should grow this
+// list consciously.
 func TestDefaultBinding(t *testing.T) {
 	want := []string{
 		"protean",
@@ -31,6 +34,7 @@ func TestDefaultBinding(t *testing.T) {
 		"protean/internal/core",
 		"protean/internal/exp",
 		"protean/internal/fabric",
+		"protean/internal/obs",
 	}
 	if len(DeterminismBound) != len(want) {
 		t.Fatalf("DeterminismBound = %v, want %v", DeterminismBound, want)

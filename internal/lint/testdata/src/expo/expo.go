@@ -1,0 +1,48 @@
+// Package expo models a metrics exposition path: a registry of named
+// series rendered to text. Bound as deterministic by the test harness,
+// the way protean/internal/obs is by default — exposition must render
+// in a pinned order, so ranging over the registry map is a diagnostic
+// and the sorted-keys mirror is the fix.
+package expo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+type registry struct {
+	series map[string]uint64
+}
+
+// exposeUnsorted is the bug the binding exists to catch: Prometheus-style
+// output whose line order follows map iteration.
+func (r *registry) exposeUnsorted() string {
+	var sb strings.Builder
+	for name, v := range r.series { // want "map iteration order is nondeterministic"
+		fmt.Fprintf(&sb, "%s %d\n", name, v)
+	}
+	return sb.String()
+}
+
+// expose is the canonical fix: a sorted key mirror pins the line order.
+// Collecting the keys is itself a map range and carries a waiver.
+func (r *registry) expose() string {
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series { //lint:nondeterministic order erased by the sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %d\n", k, r.series[k])
+	}
+	return sb.String()
+}
+
+// stamp is the other exposition temptation: decorating a snapshot with
+// the wall clock, which breaks byte-identity across runs.
+func stamp() string {
+	return time.Now().UTC().String() // want "call to time\\.Now in deterministic package expo"
+}

@@ -4,12 +4,35 @@
 // every later requester.
 package memo
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Cache memoizes values by key. The zero value is ready to use.
 type Cache[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]V
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// CacheStats is a point-in-time read of a cache's traffic. The counts
+// are process-wide and depend on goroutine scheduling (which caller of
+// a raced key counts the miss), so they belong in host-side metrics
+// only — never in a deterministic snapshot.
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+}
+
+// Stats reads the cache's hit/miss counters and current size.
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.m)
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
 }
 
 // Do returns the cached value for key, invoking build on the first
@@ -23,8 +46,10 @@ func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, error) {
 	v, ok := c.m[key]
 	c.mu.Unlock()
 	if ok {
+		c.hits.Add(1)
 		return v, nil
 	}
+	c.misses.Add(1)
 	built, err := build()
 	if err != nil {
 		var zero V

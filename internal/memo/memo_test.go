@@ -67,3 +67,15 @@ func TestDoConcurrentSingleValue(t *testing.T) {
 		}
 	}
 }
+
+func TestStats(t *testing.T) {
+	var c Cache[int, int]
+	mk := func() (int, error) { return 7, nil }
+	c.Do(1, mk)
+	c.Do(1, mk)
+	c.Do(2, mk)
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want hits=1 misses=2 entries=2", s)
+	}
+}

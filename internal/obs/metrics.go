@@ -1,0 +1,217 @@
+// Package obs is the deterministic observability layer: a metrics
+// registry (counters, gauges, fixed-bucket integer histograms) with a
+// Prometheus-style text exposition and a stable-sorted snapshot type, a
+// modeled-cycle trace recorder exporting Chrome trace-event JSON, and
+// host-side profiling hooks (pprof labels, opt-in runtime/trace regions).
+//
+// The determinism contract mirrors the rest of the system: every value a
+// metric or trace span carries is a *modeled* quantity — simulated
+// cycles, event counts — never wall-clock time, and everything is emitted
+// from serial replay-side code (or commutes, like counter sums), so the
+// rendered bytes are identical for every worker count. Host-side
+// observability that cannot be deterministic (process-wide cache hit
+// rates, CPU profiles) is kept strictly apart: the atomic counters here
+// commute but their *values* depend on scheduling, so they belong in a
+// separate host registry that is never diffed for byte identity.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. Add commutes, so
+// counters may be bumped from concurrent goroutines and still snapshot
+// identically for every interleaving.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time level. Set does not commute: gauges must only
+// be written from serial (replay-side) code, or the snapshot loses its
+// byte-identity guarantee.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket integer histogram: bounds are inclusive
+// upper edges (the Prometheus "le" convention) and every observation
+// lands in the first bucket whose bound is >= the value, or in the
+// implicit overflow (+Inf) bucket. All arithmetic is integer — there are
+// no float observations and no quantile estimation — so Observe commutes
+// and the rendered snapshot is exact.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	// Buckets are few (tens); linear scan beats binary search at this
+	// size and keeps the hot path branch-predictable.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count reports how many values were observed.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum reports the total of every observed value.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// ExpBuckets returns n exponentially spaced bucket bounds: start,
+// start·factor, start·factor², ... Bounds saturate at the top of the
+// uint64 range instead of wrapping, so a wide histogram stays sorted.
+func ExpBuckets(start, factor uint64, n int) []uint64 {
+	if start == 0 {
+		start = 1
+	}
+	if factor < 2 {
+		factor = 2
+	}
+	out := make([]uint64, 0, n)
+	b := start
+	for i := 0; i < n; i++ {
+		out = append(out, b)
+		if b > (^uint64(0))/factor {
+			break
+		}
+		b *= factor
+	}
+	return out
+}
+
+// Kind classifies a metric in a Snapshot.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram
+// lookups) is mutex-guarded and metric updates are atomic, so a registry
+// may be shared across goroutines; byte-identical snapshots additionally
+// require that every non-commuting update (Gauge.Set) happens on serial
+// replay-side code. Names are kept in a sorted mirror so no exposition
+// path ever iterates a map.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*entry
+	ordered []*entry // sorted by name
+}
+
+type entry struct {
+	name string
+	kind Kind
+	help string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*entry{}}
+}
+
+// lookup returns the entry for name, creating it with mk on first use.
+// Re-registering a name with a different kind panics: metric names are
+// program constants, and a kind clash is a programming error no caller
+// could meaningfully handle.
+func (r *Registry) lookup(name, help string, kind Kind, mk func(*entry)) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind != kind {
+			panic("obs: metric " + name + " re-registered as " + string(kind) + ", was " + string(e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, kind: kind, help: help}
+	mk(e)
+	r.byName[name] = e
+	i := sort.Search(len(r.ordered), func(i int) bool { return r.ordered[i].name >= name })
+	r.ordered = append(r.ordered, nil)
+	copy(r.ordered[i+1:], r.ordered[i:])
+	r.ordered[i] = e
+	return e
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, KindCounter, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, KindGauge, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the named histogram, registering it on first use
+// with the given bucket bounds (sorted ascending upper edges; an
+// overflow bucket is implicit). Bounds are ignored on later lookups —
+// the first registration wins.
+func (r *Registry) Histogram(name, help string, bounds []uint64) *Histogram {
+	return r.lookup(name, help, KindHistogram, func(e *entry) {
+		b := make([]uint64, len(bounds))
+		copy(b, bounds)
+		e.h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}).h
+}
+
+// Snapshot captures every registered metric, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	ordered := make([]*entry, len(r.ordered))
+	copy(ordered, r.ordered)
+	r.mu.Unlock()
+	s := Snapshot{Metrics: make([]Metric, 0, len(ordered))}
+	for _, e := range ordered {
+		m := Metric{Name: e.name, Kind: e.kind, Help: e.help}
+		switch e.kind {
+		case KindCounter:
+			m.Value = e.c.Value()
+		case KindGauge:
+			m.Gauge = e.g.Value()
+		case KindHistogram:
+			m.Bounds = append([]uint64(nil), e.h.bounds...)
+			m.Counts = make([]uint64, len(e.h.counts))
+			for i := range e.h.counts {
+				m.Counts[i] = e.h.counts[i].Load()
+			}
+			m.Sum = e.h.Sum()
+			m.Count = e.h.Count()
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	return s
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Task runs f with pprof labels {kind, name} attached, so host CPU
+// profiles attribute samples to scenario structure (sweep cell, fleet
+// worker chunk) instead of anonymous goroutines. When the process is
+// collecting a runtime/trace (go test -trace, rtrace.Start), the call
+// is additionally wrapped in a user region "kind:name"; with tracing
+// off the region calls are no-ops, so the hook costs two label
+// allocations per task and nothing on the modeled timeline.
+func Task(ctx context.Context, kind, name string, f func()) {
+	pprof.Do(ctx, pprof.Labels(kind, name), func(ctx context.Context) {
+		if rtrace.IsEnabled() {
+			defer rtrace.StartRegion(ctx, kind+":"+name).End()
+		}
+		f()
+	})
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Metric is one entry in a Snapshot. Exactly one value group is
+// meaningful, selected by Kind: Value for counters, Gauge for gauges,
+// Bounds/Counts/Sum/Count for histograms.
+type Metric struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	Help string `json:"help,omitempty"`
+
+	Value uint64 `json:"value,omitempty"` // counter
+	Gauge int64  `json:"gauge,omitempty"` // gauge
+
+	Bounds []uint64 `json:"bounds,omitempty"` // histogram: inclusive upper edges
+	Counts []uint64 `json:"counts,omitempty"` // histogram: len(Bounds)+1, last is +Inf
+	Sum    uint64   `json:"sum,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+}
+
+// Snapshot is a point-in-time capture of a registry, sorted by metric
+// name. All renderings (MarshalJSON, WriteProm) walk the sorted slice —
+// never a map — so equal snapshots produce identical bytes.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// MarshalJSON renders the snapshot with a stable field and metric order.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type plain Snapshot // avoid recursing into MarshalJSON
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(plain(s)); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format. Histograms emit cumulative _bucket series with integer le
+// labels plus an explicit +Inf bucket, then _sum and _count.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	bw := bufWriter(w)
+	for _, m := range s.Metrics {
+		if m.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Kind)
+		switch m.Kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.Name, m.Value)
+		case KindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.Name, m.Gauge)
+		case KindHistogram:
+			cum := uint64(0)
+			for i, b := range m.Bounds {
+				cum += m.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", m.Name, b, cum)
+			}
+			if len(m.Counts) > 0 {
+				cum += m.Counts[len(m.Counts)-1]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.Name, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", m.Name, m.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", m.Name, m.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// Prom renders WriteProm to a string.
+func (s Snapshot) Prom() string {
+	var buf bytes.Buffer
+	s.WriteProm(&buf)
+	return buf.String()
+}
+
+// Diff returns a snapshot holding the change from prev to s: counter
+// values, histogram counts/sums, and gauge levels are subtracted
+// pairwise by metric name. Metrics absent from prev pass through
+// unchanged; metrics absent from s are dropped. Counter and histogram
+// deltas saturate at zero rather than wrapping if prev ran ahead.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	prevAt := make(map[string]int, len(prev.Metrics))
+	for i, m := range prev.Metrics {
+		prevAt[m.Name] = i
+	}
+	out := Snapshot{Metrics: make([]Metric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		pi, ok := prevAt[m.Name]
+		if ok {
+			p := prev.Metrics[pi]
+			if p.Kind == m.Kind {
+				switch m.Kind {
+				case KindCounter:
+					m.Value = satSub(m.Value, p.Value)
+				case KindGauge:
+					m.Gauge -= p.Gauge
+				case KindHistogram:
+					if len(p.Counts) == len(m.Counts) {
+						counts := make([]uint64, len(m.Counts))
+						for i := range m.Counts {
+							counts[i] = satSub(m.Counts[i], p.Counts[i])
+						}
+						m.Counts = counts
+						m.Sum = satSub(m.Sum, p.Sum)
+						m.Count = satSub(m.Count, p.Count)
+					}
+				}
+			}
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+// Merge returns a snapshot combining s and other by metric name:
+// counters, histogram counts/sums, and gauges add pairwise; metrics
+// present in only one input pass through. The result is re-sorted by
+// name so merged snapshots render identically regardless of merge
+// order.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	at := make(map[string]int, len(s.Metrics))
+	out := Snapshot{Metrics: make([]Metric, 0, len(s.Metrics)+len(other.Metrics))}
+	for _, m := range s.Metrics {
+		at[m.Name] = len(out.Metrics)
+		out.Metrics = append(out.Metrics, m)
+	}
+	for _, m := range other.Metrics {
+		i, ok := at[m.Name]
+		if !ok || out.Metrics[i].Kind != m.Kind {
+			out.Metrics = append(out.Metrics, m)
+			continue
+		}
+		t := &out.Metrics[i]
+		switch m.Kind {
+		case KindCounter:
+			t.Value += m.Value
+		case KindGauge:
+			t.Gauge += m.Gauge
+		case KindHistogram:
+			if len(t.Counts) == len(m.Counts) {
+				counts := make([]uint64, len(t.Counts))
+				for i := range t.Counts {
+					counts[i] = t.Counts[i] + m.Counts[i]
+				}
+				t.Counts = counts
+				t.Sum += m.Sum
+				t.Count += m.Count
+			}
+		}
+	}
+	sort.SliceStable(out.Metrics, func(i, j int) bool { return out.Metrics[i].Name < out.Metrics[j].Name })
+	return out
+}
+
+// Get returns the metric with the given name, if present.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+func bufWriter(w io.Writer) *bufio.Writer {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw
+	}
+	return bufio.NewWriter(w)
+}

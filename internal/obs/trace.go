@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event phases in the Chrome trace-event format. Only the subset the
+// tracer emits is named here.
+const (
+	phaseComplete = "X" // span with ts + dur
+	phaseInstant  = "i" // point event
+	phaseMeta     = "M" // metadata (track names)
+)
+
+// Arg is one key/value annotation on a trace event. Args are an ordered
+// slice rather than a map so rendering never depends on map iteration
+// order.
+type Arg struct {
+	Key string
+	Val any // string, int64/uint64/int, or bool
+}
+
+// TraceEvent is one entry in a Tracer timeline. TS and Dur are modeled
+// cycles (the exporter presents them as microseconds, which Perfetto
+// renders as-is — one "us" on screen is one simulated cycle). Track
+// selects the horizontal row (exported as the Chrome tid).
+type TraceEvent struct {
+	Name  string
+	Cat   string
+	Phase string
+	TS    uint64
+	Dur   uint64
+	Track int
+	Args  []Arg
+}
+
+// Tracer records modeled-cycle spans and instants and exports them as
+// Chrome trace-event JSON. It is not safe for concurrent use: the
+// determinism contract requires all emission to happen on serial
+// replay-side code anyway, so the zero-value single-goroutine recorder
+// is the right shape.
+type Tracer struct {
+	events     []TraceEvent
+	trackNames map[int]string
+	trackOrder []int // registration order of named tracks
+	dropped    uint64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{trackNames: map[int]string{}}
+}
+
+// SetTrackName names a track; it appears in the exported JSON as
+// thread_name metadata so Perfetto labels the row.
+func (t *Tracer) SetTrackName(track int, name string) {
+	if _, ok := t.trackNames[track]; !ok {
+		t.trackOrder = append(t.trackOrder, track)
+	}
+	t.trackNames[track] = name
+}
+
+// Span records a complete span on track covering [start, end] modeled
+// cycles. Zero-length spans are widened to one cycle so they stay
+// visible in Perfetto.
+func (t *Tracer) Span(track int, cat, name string, start, end uint64, args ...Arg) {
+	dur := uint64(1)
+	if end > start {
+		dur = end - start
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Phase: phaseComplete,
+		TS: start, Dur: dur, Track: track, Args: args,
+	})
+}
+
+// Instant records a point event on track at the given modeled cycle.
+func (t *Tracer) Instant(track int, cat, name string, ts uint64, args ...Arg) {
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Phase: phaseInstant,
+		TS: ts, Track: track, Args: args,
+	})
+}
+
+// NoteDropped records that n source events were lost before reaching the
+// tracer (e.g. a bounded ring overwrote them). The exporter turns a
+// non-zero total into an explicit truncation-warning instant so a short
+// timeline is never silent.
+func (t *Tracer) NoteDropped(n uint64) { t.dropped += n }
+
+// Len reports the number of recorded events (excluding track metadata).
+func (t *Tracer) Len() int { return len(t.events) }
+
+// WriteChromeTrace renders the timeline as Chrome trace-event JSON
+// ({"traceEvents":[...]}), loadable in Perfetto or chrome://tracing.
+// Track-name metadata comes first, then events sorted stably by
+// (Track, TS) so every track's timestamps are monotone; the stable sort
+// preserves recording order among equal keys, keeping output
+// byte-identical for identical recordings.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n")
+	}
+	for _, track := range t.trackOrder {
+		sep()
+		writeMetaEvent(bw, track, t.trackNames[track])
+	}
+	if t.dropped > 0 {
+		sep()
+		writeEvent(bw, TraceEvent{
+			Name: "trace truncated", Cat: "warning", Phase: phaseInstant,
+			TS: 0, Track: 0,
+			Args: []Arg{{Key: "dropped_events", Val: t.dropped}},
+		})
+	}
+	ordered := make([]TraceEvent, len(t.events))
+	copy(ordered, t.events)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Track != ordered[j].Track {
+			return ordered[i].Track < ordered[j].Track
+		}
+		return ordered[i].TS < ordered[j].TS
+	})
+	for _, ev := range ordered {
+		sep()
+		writeEvent(bw, ev)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func writeMetaEvent(bw *bufio.Writer, track int, name string) {
+	fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
+		track, jstr(name))
+}
+
+func writeEvent(bw *bufio.Writer, ev TraceEvent) {
+	fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":%q,"pid":0,"tid":%d,"ts":%d`,
+		jstr(ev.Name), jstr(ev.Cat), ev.Phase, ev.Track, ev.TS)
+	if ev.Phase == phaseComplete {
+		fmt.Fprintf(bw, `,"dur":%d`, ev.Dur)
+	}
+	if ev.Phase == phaseInstant {
+		bw.WriteString(`,"s":"t"`)
+	}
+	if len(ev.Args) > 0 {
+		bw.WriteString(`,"args":{`)
+		for i, a := range ev.Args {
+			if i > 0 {
+				bw.WriteString(",")
+			}
+			bw.WriteString(jstr(a.Key))
+			bw.WriteString(":")
+			switch v := a.Val.(type) {
+			case string:
+				bw.WriteString(jstr(v))
+			case bool:
+				fmt.Fprintf(bw, "%t", v)
+			case int:
+				fmt.Fprintf(bw, "%d", v)
+			case int64:
+				fmt.Fprintf(bw, "%d", v)
+			case uint64:
+				fmt.Fprintf(bw, "%d", v)
+			default:
+				bw.WriteString(jstr(fmt.Sprint(v)))
+			}
+		}
+		bw.WriteString("}")
+	}
+	bw.WriteString("}")
+}
+
+// jstr renders s as a JSON string. json.Marshal (not strconv.Quote,
+// whose \xNN escapes are invalid JSON) guarantees the output parses.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// ValidateChromeTrace checks that data is well-formed Chrome trace-event
+// JSON suitable for Perfetto: it parses, traceEvents is non-empty, and
+// within each (pid, tid) track the non-metadata timestamps are monotone
+// non-decreasing. It is the shared validator behind cmd/tracecheck and
+// the CI examples job.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int64   `json:"pid"`
+			Tid  int64   `json:"tid"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	// Events legitimately carry fields the wrapper struct doesn't name
+	// (dur, args, s), so decode leniently.
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace does not parse as JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return errors.New("traceEvents is empty")
+	}
+	type track struct{ pid, tid int64 }
+	last := map[track]float64{}
+	events := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == phaseMeta {
+			continue
+		}
+		events++
+		k := track{ev.Pid, ev.Tid}
+		if prev, ok := last[k]; ok && ev.TS < prev {
+			return fmt.Errorf("event %d (%q) on track pid=%d tid=%d: ts %v < previous %v",
+				i, ev.Name, ev.Pid, ev.Tid, ev.TS, prev)
+		}
+		last[k] = ev.TS
+	}
+	if events == 0 {
+		return errors.New("traceEvents holds only metadata, no spans or instants")
+	}
+	return nil
+}

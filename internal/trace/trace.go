@@ -58,10 +58,11 @@ func (e Event) String() string {
 // and records nothing, so tracing can be compiled out of hot paths by
 // passing nil.
 type Log struct {
-	ring  []Event
-	next  int
-	wrap  bool
-	count [len(kindNames)]uint64
+	ring    []Event
+	next    int
+	wrap    bool
+	count   [len(kindNames)]uint64
+	dropped uint64
 }
 
 // New returns a log keeping the most recent cap events (cap <= 0 keeps
@@ -91,6 +92,17 @@ func (l *Log) Add(cycle uint64, kind Kind, pid uint32, note string) {
 	l.ring[l.next] = e
 	l.next = (l.next + 1) % cap(l.ring)
 	l.wrap = true
+	l.dropped++ // the overwritten event is gone; never lose that silently
+}
+
+// Dropped reports how many events were overwritten after the ring
+// filled. A non-zero value means Events() is a truncated window, not
+// the full timeline.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
 }
 
 // Count reports how many events of a kind were recorded (including ones

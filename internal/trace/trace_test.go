@@ -46,6 +46,30 @@ func TestRingWraps(t *testing.T) {
 	if l.Count(EvFault) != 5 {
 		t.Fatalf("total count = %d", l.Count(EvFault))
 	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
+}
+
+func TestDroppedZeroCases(t *testing.T) {
+	var nilLog *Log
+	if nilLog.Dropped() != 0 {
+		t.Fatal("nil log dropped != 0")
+	}
+	l := New(4)
+	for i := uint64(0); i < 4; i++ {
+		l.Add(i, EvSwitch, 1, "")
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("exactly-full ring dropped = %d, want 0", l.Dropped())
+	}
+	// A counters-only log retains nothing, but also drops nothing: there
+	// was never a window to truncate.
+	c := New(0)
+	c.Add(1, EvSwitch, 1, "")
+	if c.Dropped() != 0 {
+		t.Fatalf("capacity-0 log dropped = %d, want 0", c.Dropped())
+	}
 }
 
 func TestOrderingBeforeWrap(t *testing.T) {

@@ -1,0 +1,149 @@
+package protean
+
+import (
+	"fmt"
+	"io"
+
+	"protean/internal/cluster"
+	"protean/internal/core"
+	"protean/internal/memo"
+	"protean/internal/obs"
+	"protean/internal/trace"
+)
+
+// Metrics is a deterministic, stable-sorted metrics snapshot: the run's
+// counters, gauges and fixed-bucket integer histograms, sorted by name.
+// Snapshots marshal to stable JSON (MarshalJSON), render in the
+// Prometheus text exposition format (WriteProm), and subtract
+// (Diff) / combine (Merge) pairwise by metric name. Everything in a
+// snapshot is a modeled quantity — simulated cycles and event counts,
+// no floats, no wall clock — built from serial replay-side code, so two
+// runs of the same spec produce byte-identical snapshots at any worker
+// count. Host-side counters that cannot satisfy that contract live in
+// HostMetrics instead.
+type Metrics = obs.Snapshot
+
+// MetricPoint is one entry in a Metrics snapshot.
+type MetricPoint = obs.Metric
+
+// HostMetrics snapshots the host-side process-wide caches: workload
+// template, assembled program and compiled circuit-program hit rates.
+// These are real process counters — which goroutine wins a build race
+// depends on scheduling — so unlike Result.Metrics the values are NOT
+// deterministic across worker counts; use them for cache-efficiency
+// observability, never in byte-identity comparisons.
+func HostMetrics() Metrics {
+	r := obs.NewRegistry()
+	observeCache(r, "protean_host_template_cache", templateCache.Stats())
+	observeCache(r, "protean_host_asm_cache", asmCache.Stats())
+	observeCache(r, "protean_host_program_cache", core.ProgramCacheStats())
+	return r.Snapshot()
+}
+
+func observeCache(r *obs.Registry, prefix string, s memo.CacheStats) {
+	r.Counter(prefix+"_hits_total", "cache hits").Add(s.Hits)
+	r.Counter(prefix+"_misses_total", "cache misses (builds)").Add(s.Misses)
+	r.Gauge(prefix+"_entries", "cached entries").Set(int64(s.Entries))
+}
+
+func observeTLB(r *obs.Registry, prefix string, s TLBStats) {
+	r.Counter(prefix+"_lookups_total", "dispatch CAM probes").Add(s.Lookups)
+	r.Counter(prefix+"_misses_total", "dispatch CAM misses").Add(s.Misses)
+}
+
+// sessionBuckets spans session-scale cycle counts: 1k up to ~10^9, ×4
+// per bucket.
+func sessionBuckets() []uint64 { return obs.ExpBuckets(1024, 4, 10) }
+
+// metricsSnapshot registers the finished session's statistics into a
+// fresh registry — kernel, CIS, RFU, both dispatch TLBs, and per-process
+// sojourn times — and snapshots it. Runs on the single Run goroutine
+// after the simulation, so the bytes depend only on the modeled run.
+func (s *Session) metricsSnapshot(res *Result) *Metrics {
+	r := obs.NewRegistry()
+	res.Kernel.Observe(r)
+	res.CIS.Observe(r)
+	res.RFU.Observe(r)
+	observeTLB(r, "protean_tlb1", res.TLB1)
+	observeTLB(r, "protean_tlb2", res.TLB2)
+	r.Gauge("protean_session_cycles", "total simulated machine time").Set(int64(res.Cycles))
+	r.Counter("protean_session_procs_total", "processes spawned").Add(uint64(len(res.Procs)))
+	soj := r.Histogram("protean_session_sojourn_cycles", "first-dispatch-to-exit per process", sessionBuckets())
+	for _, pr := range res.Procs {
+		soj.Observe(pr.Completion - pr.Start)
+	}
+	if s.tl != nil {
+		r.Counter("protean_trace_events_dropped_total", "kernel events lost to ring overflow").Add(s.tl.Dropped())
+	}
+	snap := r.Snapshot()
+	return &snap
+}
+
+// ringEventCat buckets kernel event kinds into Chrome trace categories.
+func ringEventCat(k trace.Kind) string {
+	switch k {
+	case trace.EvSpawn, trace.EvExit, trace.EvSwitch, trace.EvTimer, trace.EvKill:
+		return "sched"
+	case trace.EvFault, trace.EvSoftMap, trace.EvMapInstall:
+		return "dispatch"
+	case trace.EvConfigLoad, trace.EvStateSave, trace.EvStateRestore, trace.EvEvict:
+		return "config"
+	}
+	return "kernel"
+}
+
+// writeChromeTrace renders the session timeline as Chrome trace-event
+// JSON: one track per process carrying its sojourn span (first dispatch
+// to exit) plus an instant for every kernel event the trace ring
+// retained, and a truncation warning when the ring overflowed. Runs on
+// the single Run goroutine — replay-side emission only.
+func (s *Session) writeChromeTrace(w io.Writer, res *Result) error {
+	t := obs.NewTracer()
+	for _, pr := range res.Procs {
+		track := int(pr.PID)
+		t.SetTrackName(track, fmt.Sprintf("pid %d %s", pr.PID, pr.Name))
+		t.Span(track, "proc", pr.Name, pr.Start, pr.Completion,
+			obs.Arg{Key: "workload", Val: pr.Workload},
+			obs.Arg{Key: "switches", Val: pr.Switches},
+			obs.Arg{Key: "faults", Val: pr.Faults})
+	}
+	if s.tl != nil {
+		for _, e := range s.tl.Events() {
+			args := []obs.Arg{}
+			if e.Note != "" {
+				args = append(args, obs.Arg{Key: "note", Val: e.Note})
+			}
+			t.Instant(int(e.PID), ringEventCat(e.Kind), e.Kind.String(), e.Cycle, args...)
+		}
+		t.NoteDropped(s.tl.Dropped())
+	}
+	return t.WriteChromeTrace(w)
+}
+
+// fleetMetrics registers the replayed fleet's statistics into a fresh
+// registry — the dispatcher trace aggregates (placements, store traffic,
+// admission outcomes, sojourn/defer-wait histograms) plus the summed
+// per-job session statistics — and snapshots it. Runs on the serial
+// replay goroutine, so the bytes are byte-identical at any Execute
+// worker count.
+func fleetMetrics(tr *cluster.Trace, fr *FleetResult) *Metrics {
+	r := obs.NewRegistry()
+	tr.Observe(r)
+	fr.Kernel.Observe(r)
+	fr.CIS.Observe(r)
+	fr.RFU.Observe(r)
+	var t1, t2 TLBStats
+	for _, j := range fr.Jobs {
+		if j.Shed || j.Run == nil {
+			continue
+		}
+		t1.Lookups += j.Run.TLB1.Lookups
+		t1.Misses += j.Run.TLB1.Misses
+		t2.Lookups += j.Run.TLB2.Lookups
+		t2.Misses += j.Run.TLB2.Misses
+	}
+	observeTLB(r, "protean_tlb1", t1)
+	observeTLB(r, "protean_tlb2", t2)
+	snap := r.Snapshot()
+	return &snap
+}

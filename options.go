@@ -37,6 +37,8 @@ type config struct {
 	sink         Sink
 	disasmW      io.Writer
 	disasmN      int
+	metrics      bool
+	traceOut     io.Writer
 }
 
 // WithQuantum sets the scheduling quantum in cycles. 0 (the default)
@@ -105,6 +107,36 @@ func WithTrace(capacity int) Option {
 			return fmt.Errorf("protean: trace capacity must be positive, got %d", capacity)
 		}
 		c.traceCap = capacity
+		return nil
+	}
+}
+
+// WithMetrics collects the run's statistics into a deterministic
+// metrics snapshot, exposed as Result.Metrics: kernel, CIS, RFU and
+// dispatch-TLB counters under Prometheus-style names, built from serial
+// post-run code so the snapshot bytes depend only on the modeled run.
+// See Metrics for the snapshot operations (MarshalJSON, WriteProm,
+// Diff).
+func WithMetrics() Option {
+	return func(c *config) error {
+		c.metrics = true
+		return nil
+	}
+}
+
+// WithTraceOut writes the run's modeled-cycle timeline to w as Chrome
+// trace-event JSON (open it in Perfetto or chrome://tracing): one track
+// per process with its sojourn span, instants for every retained kernel
+// event (switches, faults, config loads, state save/restore, evictions),
+// and an explicit truncation warning if the event ring overflowed.
+// Implies a default WithTrace ring when none is configured; timestamps
+// are simulated cycles rendered as microseconds.
+func WithTraceOut(w io.Writer) Option {
+	return func(c *config) error {
+		if w == nil {
+			return fmt.Errorf("protean: trace output writer must be non-nil")
+		}
+		c.traceOut = w
 		return nil
 	}
 }

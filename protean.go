@@ -105,6 +105,11 @@ func New(opts ...Option) (*Session, error) {
 	if c.budget == 0 {
 		c.budget = 1 << 40
 	}
+	if c.traceOut != nil && c.traceCap == 0 {
+		// WithTraceOut without WithTrace: keep a generous default ring so
+		// the exported timeline covers the run.
+		c.traceCap = 1 << 16
+	}
 
 	m := machine.New(machine.Config{
 		ConfigBytesPerCycle: c.scale.ConfigBytesPerCycle(),
@@ -334,6 +339,14 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	res := s.result()
+	if s.cfg.metrics {
+		res.Metrics = s.metricsSnapshot(res)
+	}
+	if s.cfg.traceOut != nil {
+		if err := s.writeChromeTrace(s.cfg.traceOut, res); err != nil {
+			return nil, fmt.Errorf("protean: write trace: %w", err)
+		}
+	}
 	s.emit(Event{
 		Kind:  EventRunDone,
 		Procs: len(s.procs),

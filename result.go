@@ -103,6 +103,9 @@ type Result struct {
 	Console string
 	// Trace is the kernel event-trace tail, when WithTrace enabled it.
 	Trace string
+	// Metrics is the run's deterministic metrics snapshot, when
+	// WithMetrics enabled it; nil otherwise.
+	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
 // Err returns nil when every process exited cleanly with its expected

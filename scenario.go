@@ -3,9 +3,12 @@ package protean
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 	"slices"
 
 	"protean/internal/cluster"
+	"protean/internal/obs"
 )
 
 // Scenario is the declarative, JSON-serializable description of one
@@ -49,6 +52,17 @@ type Scenario struct {
 	Placement PlacementSpec `json:"placement,omitzero"`
 	// Jobs is the submitted work, in arrival order.
 	Jobs []JobSpec `json:"jobs"`
+	// TraceOut, when set, writes the fleet timeline as Chrome trace-event
+	// JSON to this file path (open it in Perfetto): one track per node
+	// with fetch and exec spans, plus a dispatcher track with defer spans
+	// and shed instants. With several replayed policies
+	// (WithRunPlacements) the first policy's timeline is written.
+	// Timestamps are modeled cycles, emitted replay-side, so the file is
+	// byte-identical at any Workers setting.
+	TraceOut string `json:"trace_out,omitempty"`
+	// Metrics attaches a deterministic metrics snapshot to each
+	// FleetResult (see FleetResult.Metrics).
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 // NodeSpec describes one kind of workstation in the fleet.
@@ -391,6 +405,12 @@ type resolvedScenario struct {
 	// derived seed (random replacement policy), which vetoes batching.
 	lanes       int
 	classRandom []bool
+	// traceW / tracePath route the Chrome fleet timeline (an explicit
+	// writer beats the spec's file path); metrics turns on FleetResult
+	// metrics snapshots.
+	traceW    io.Writer
+	tracePath string
+	metrics   bool
 }
 
 // StartOption adjusts how Start executes a Scenario, carrying the
@@ -403,6 +423,8 @@ type startConfig struct {
 	sink     Sink
 	extras   []Option
 	policies []PlacementPolicy
+	traceW   io.Writer
+	metrics  bool
 }
 
 // WithRunProgress streams structured fleet events (one EventJobDone per
@@ -432,6 +454,30 @@ func WithRunPlacements(policies ...PlacementPolicy) StartOption {
 	}
 }
 
+// WithRunTrace writes the fleet timeline of the first replayed policy
+// to w as Chrome trace-event JSON — the writer-valued twin of the
+// Scenario.TraceOut file path (an explicit writer takes precedence when
+// both are set). Emission is replay-side only, so the bytes are
+// identical at any Workers setting.
+func WithRunTrace(w io.Writer) StartOption {
+	return func(c *startConfig) error {
+		if w == nil {
+			return fmt.Errorf("protean: trace output writer must be non-nil")
+		}
+		c.traceW = w
+		return nil
+	}
+}
+
+// WithRunMetrics attaches a deterministic metrics snapshot to each
+// FleetResult — the option-valued twin of Scenario.Metrics.
+func WithRunMetrics() StartOption {
+	return func(c *startConfig) error {
+		c.metrics = true
+		return nil
+	}
+}
+
 // WithRunSessionOptions applies extra options to every job session —
 // meant for the non-modeled debugging aids (WithTrace, WithProgress,
 // WithDisasm) that a Scenario deliberately cannot express. Passing
@@ -451,7 +497,13 @@ func (sc Scenario) resolve(scfg startConfig) (*resolvedScenario, error) {
 	if sc.Lanes < 0 || sc.Lanes > cluster.MaxBatch {
 		return nil, fmt.Errorf("protean: lanes must be 0 (auto) to %d, got %d", cluster.MaxBatch, sc.Lanes)
 	}
-	rs := &resolvedScenario{sink: scfg.sink, extras: scfg.extras, lanes: sc.Lanes}
+	rs := &resolvedScenario{
+		sink: scfg.sink, extras: scfg.extras, lanes: sc.Lanes,
+		traceW: scfg.traceW, metrics: sc.Metrics || scfg.metrics,
+	}
+	if rs.traceW == nil {
+		rs.tracePath = sc.TraceOut
+	}
 	if rs.lanes == 0 {
 		rs.lanes = cluster.MaxBatch
 	}
@@ -803,6 +855,14 @@ func (rs *resolvedScenario) run(ctx context.Context) ([]*FleetResult, error) {
 			return nil, err
 		}
 		fr := rs.assemble(tr, results)
+		if rs.metrics {
+			fr.Metrics = fleetMetrics(tr, fr)
+		}
+		if pi == 0 {
+			if err := rs.emitChromeTrace(tr, jobs); err != nil {
+				return nil, err
+			}
+		}
 		if rs.sink != nil {
 			rs.sink.Event(Event{
 				Kind:  EventFleetDone,
@@ -816,6 +876,35 @@ func (rs *resolvedScenario) run(ctx context.Context) ([]*FleetResult, error) {
 		frs[pi] = fr
 	}
 	return frs, nil
+}
+
+// emitChromeTrace writes the fleet timeline to the configured trace
+// destination (WithRunTrace writer or Scenario.TraceOut path); a no-op
+// when neither is set. Runs on the serial replay goroutine.
+func (rs *resolvedScenario) emitChromeTrace(tr *cluster.Trace, jobs []cluster.Job) error {
+	if rs.traceW == nil && rs.tracePath == "" {
+		return nil
+	}
+	t := obs.NewTracer()
+	tr.EmitChrome(t, jobs)
+	if rs.traceW != nil {
+		if err := t.WriteChromeTrace(rs.traceW); err != nil {
+			return fmt.Errorf("protean: write trace: %w", err)
+		}
+		return nil
+	}
+	f, err := os.Create(rs.tracePath)
+	if err != nil {
+		return fmt.Errorf("protean: trace out: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("protean: write trace %s: %w", rs.tracePath, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("protean: trace out: %w", err)
+	}
+	return nil
 }
 
 // assemble aggregates the dispatcher trace and the per-class session
