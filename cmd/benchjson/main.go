@@ -68,6 +68,15 @@ var suites = []struct {
 				"BenchmarkFleet1kNodes|BenchmarkObsOverhead)$"},
 		},
 	},
+	{
+		file: "BENCH_daemon.json",
+		comment: "service layer performance trajectory; regenerate with `go run ./cmd/benchjson` " +
+			"(CI checks only the schema - benchmark names and metric keys - not the values)",
+		runs: []benchRun{
+			{"./internal/server", "^BenchmarkDaemonSubmitThroughput$"},
+			{"./internal/wire", "^BenchmarkWireEncode$"},
+		},
+	},
 }
 
 // trajectory is the on-disk shape of a trajectory file.

@@ -19,6 +19,8 @@ var DeterminismBound = []string{
 	"protean/internal/exp",
 	"protean/internal/fabric",
 	"protean/internal/obs",
+	"protean/internal/server",
+	"protean/internal/wire",
 }
 
 // Determinism is the default-bound determinism analyzer.

@@ -24,9 +24,11 @@ func TestSinksafe(t *testing.T) {
 
 // TestDefaultBinding pins the deterministic package set: the analyzers
 // advertise the facade, the four internal engines ROADMAP.md calls
-// load-bearing, and the observability layer (whose exposition paths
-// must render byte-identically). Growing the module should grow this
-// list consciously.
+// load-bearing, the observability layer (whose exposition paths must
+// render byte-identically), and the daemon's service layer — the wire
+// codec (canonical encodings are byte-compared) and the server (a
+// submitted scenario's result must match the in-process run exactly).
+// Growing the module should grow this list consciously.
 func TestDefaultBinding(t *testing.T) {
 	want := []string{
 		"protean",
@@ -35,6 +37,8 @@ func TestDefaultBinding(t *testing.T) {
 		"protean/internal/exp",
 		"protean/internal/fabric",
 		"protean/internal/obs",
+		"protean/internal/server",
+		"protean/internal/wire",
 	}
 	if len(DeterminismBound) != len(want) {
 		t.Fatalf("DeterminismBound = %v, want %v", DeterminismBound, want)

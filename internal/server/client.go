@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"protean"
+	"protean/internal/wire"
+)
+
+// Client is a synchronous proteand client: one connection, one
+// request in flight at a time (a Watch occupies the connection until
+// its Done frame). Safe for concurrent use — calls serialize on an
+// internal mutex; concurrent submitters should hold one Client each.
+type Client struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	buf    []byte
+	nextID uint64
+	server string
+}
+
+// SplitAddr parses a daemon address: "unix:PATH" selects the unix
+// socket transport, anything else is a TCP host:port.
+func SplitAddr(s string) (network, addr string) {
+	if path, ok := strings.CutPrefix(s, "unix:"); ok {
+		return "unix", path
+	}
+	return "tcp", s
+}
+
+// Dial connects and performs the Hello handshake.
+func Dial(network, addr string) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	m, err := c.roundTrip(wire.Hello{Version: wire.Version})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	hello, ok := m.(wire.HelloOK)
+	if !ok {
+		nc.Close()
+		return nil, fmt.Errorf("server: handshake reply %T", m)
+	}
+	c.server = hello.Server
+	return c, nil
+}
+
+// Server returns the daemon name from the handshake.
+func (c *Client) Server() string { return c.server }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) write(id uint64, m wire.Msg) error {
+	if err := wire.WriteFrame(c.w, wire.EncodeMessage(id, m)); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Client) read() (uint64, wire.Msg, error) {
+	buf, err := wire.ReadFrame(c.r, c.buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.buf = buf
+	return wire.DecodeMessage(buf)
+}
+
+// roundTrip sends one request and reads its reply, surfacing wire
+// Error replies as Go errors.
+func (c *Client) roundTrip(req wire.Msg) (wire.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if err := c.write(id, req); err != nil {
+		return nil, err
+	}
+	gotID, m, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("server: reply id %d for request %d", gotID, id)
+	}
+	if e, ok := m.(wire.Error); ok {
+		return nil, errors.New("server: " + e.Msg)
+	}
+	return m, nil
+}
+
+// Submit submits a scenario spec (canonical JSON bytes) and returns
+// the assigned job id.
+func (c *Client) Submit(spec []byte) (uint64, error) {
+	m, err := c.roundTrip(wire.Submit{Spec: spec})
+	if err != nil {
+		return 0, err
+	}
+	ok, isOK := m.(wire.SubmitOK)
+	if !isOK {
+		return 0, fmt.Errorf("server: submit reply %T", m)
+	}
+	return ok.Job, nil
+}
+
+// Status polls one job.
+func (c *Client) Status(job uint64) (wire.StatusOK, error) {
+	m, err := c.roundTrip(wire.Status{Job: job})
+	if err != nil {
+		return wire.StatusOK{}, err
+	}
+	st, isOK := m.(wire.StatusOK)
+	if !isOK {
+		return wire.StatusOK{}, fmt.Errorf("server: status reply %T", m)
+	}
+	return st, nil
+}
+
+// Cancel requests cancellation; it reports false when the job had
+// already finished.
+func (c *Client) Cancel(job uint64) (bool, error) {
+	m, err := c.roundTrip(wire.Cancel{Job: job})
+	if err != nil {
+		return false, err
+	}
+	ok, isOK := m.(wire.CancelOK)
+	if !isOK {
+		return false, fmt.Errorf("server: cancel reply %T", m)
+	}
+	return ok.Canceled, nil
+}
+
+// Result retrieves a finished job's FleetResult.
+func (c *Client) Result(job uint64) (*protean.FleetResult, error) {
+	m, err := c.roundTrip(wire.Result{Job: job})
+	if err != nil {
+		return nil, err
+	}
+	ok, isOK := m.(wire.ResultOK)
+	if !isOK {
+		return nil, fmt.Errorf("server: result reply %T", m)
+	}
+	return ok.Fleet, nil
+}
+
+// Metrics retrieves the daemon's metrics snapshot.
+func (c *Client) Metrics() (protean.Metrics, error) {
+	m, err := c.roundTrip(wire.Metrics{})
+	if err != nil {
+		return protean.Metrics{}, err
+	}
+	ok, isOK := m.(wire.MetricsOK)
+	if !isOK {
+		return protean.Metrics{}, fmt.Errorf("server: metrics reply %T", m)
+	}
+	return ok.Snap, nil
+}
+
+// Watch subscribes to a job's event stream and blocks until its Done
+// frame, invoking sink for each Event and gap for each EventGap
+// marker (either may be nil). It returns the job's final state.
+func (c *Client) Watch(job uint64, sink func(protean.Event), gap func(dropped uint64)) (wire.Done, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if err := c.write(id, wire.Watch{Job: job}); err != nil {
+		return wire.Done{}, err
+	}
+	for {
+		gotID, m, err := c.read()
+		if err != nil {
+			return wire.Done{}, err
+		}
+		if gotID != id {
+			return wire.Done{}, fmt.Errorf("server: stream frame id %d for watch %d", gotID, id)
+		}
+		switch m := m.(type) {
+		case wire.Event:
+			if sink != nil {
+				sink(m.Ev)
+			}
+		case wire.EventGap:
+			if gap != nil {
+				gap(m.Dropped)
+			}
+		case wire.Done:
+			return m, nil
+		case wire.Error:
+			return wire.Done{}, errors.New("server: " + m.Msg)
+		default:
+			return wire.Done{}, fmt.Errorf("server: stream frame %T", m)
+		}
+	}
+}

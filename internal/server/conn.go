@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+
+	"protean"
+	"protean/internal/wire"
+)
+
+// conn is one client connection: a read loop decoding request frames
+// and a write pump draining a bounded frame queue. All writes go
+// through trySend, which never blocks — the queue either takes the
+// frame or the sender handles the overflow (shed for events, abort for
+// replies).
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	mu     sync.Mutex
+	closed bool
+	q      chan []byte
+
+	werr error // pump-side write error; pump-only after first set
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{srv: s, nc: nc, q: make(chan []byte, s.cfg.QueueDepth)}
+}
+
+// trySend enqueues one owned frame, reporting false when the
+// connection is closed or the queue is full. Bounded time: the mutex
+// only ever guards the closed check plus a non-blocking channel send.
+func (c *conn) trySend(frame []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	select {
+	case c.q <- frame:
+		return true
+	default:
+		return false
+	}
+}
+
+// shut closes the connection. Graceful (abort=false) lets the pump
+// flush queued frames before closing the socket; abort severs it
+// immediately, discarding the queue.
+func (c *conn) shut(abort bool) {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.q)
+	}
+	c.mu.Unlock()
+	if abort {
+		c.nc.Close()
+	}
+}
+
+// pump is the connection's single writer: it drains the queue in
+// order, flushing when the queue momentarily empties, and closes the
+// socket when the queue closes. After a write error it keeps draining
+// so queued senders' frames are released promptly.
+func (c *conn) pump() {
+	w := bufio.NewWriter(c.nc)
+	for frame := range c.q {
+		if c.werr != nil {
+			continue
+		}
+		if err := wire.WriteFrame(w, frame); err != nil {
+			c.werr = err
+			c.nc.Close()
+			continue
+		}
+		if len(c.q) == 0 {
+			if err := w.Flush(); err != nil {
+				c.werr = err
+				c.nc.Close()
+			}
+		}
+	}
+	if c.werr == nil {
+		w.Flush()
+	}
+	c.nc.Close()
+}
+
+// serve runs the connection: handshake, then request frames until the
+// peer hangs up, a frame fails to decode, or the server drains.
+func (c *conn) serve() {
+	defer c.srv.connDone(c)
+	defer c.shut(false)
+	go c.pump()
+
+	r := bufio.NewReader(c.nc)
+	var buf []byte
+	var err error
+
+	// Handshake: the first frame must be a version-compatible Hello.
+	buf, err = wire.ReadFrame(r, buf)
+	if err != nil {
+		return
+	}
+	id, m, err := wire.DecodeMessage(buf)
+	if err != nil {
+		return
+	}
+	h, ok := m.(wire.Hello)
+	if !ok || h.Version != wire.Version {
+		c.reply(id, wire.Error{Msg: fmt.Sprintf("protocol version mismatch: server speaks %d", wire.Version)})
+		return
+	}
+	if !c.reply(id, wire.HelloOK{Version: wire.Version, Server: c.srv.cfg.Name}) {
+		return
+	}
+
+	for {
+		buf, err = wire.ReadFrame(r, buf)
+		if err != nil {
+			return
+		}
+		id, m, err := wire.DecodeMessage(buf)
+		if err != nil {
+			// An undecodable frame means the stream framing is suspect;
+			// answer once and sever.
+			c.reply(0, wire.Error{Msg: "bad frame: " + err.Error()})
+			return
+		}
+		c.srv.mFrames.Inc()
+		if !c.handle(id, m) {
+			return
+		}
+	}
+}
+
+// reply enqueues a response frame. Replies are not sheddable: a full
+// queue aborts the connection (the client has lost request/response
+// pairing anyway), and the false return ends the read loop.
+func (c *conn) reply(id uint64, m wire.Msg) bool {
+	if !c.trySend(wire.EncodeMessage(id, m)) {
+		c.shut(true)
+		return false
+	}
+	return true
+}
+
+// handle dispatches one request; it reports whether the connection
+// should keep serving.
+func (c *conn) handle(id uint64, m wire.Msg) bool {
+	switch m := m.(type) {
+	case wire.Submit:
+		// Decode before the next ReadFrame reuses the buffer m.Spec
+		// aliases; ReadScenario copies what it keeps.
+		sc, err := protean.ReadScenario(bytes.NewReader(m.Spec))
+		if err != nil {
+			return c.reply(id, wire.Error{Msg: err.Error()})
+		}
+		job, err := c.srv.startJob(sc)
+		if err != nil {
+			return c.reply(id, wire.Error{Msg: err.Error()})
+		}
+		return c.reply(id, wire.SubmitOK{Job: job})
+	case wire.Status:
+		j, err := c.srv.lookup(m.Job)
+		if err != nil {
+			return c.reply(id, wire.Error{Msg: err.Error()})
+		}
+		return c.reply(id, j.status())
+	case wire.Cancel:
+		j, err := c.srv.lookup(m.Job)
+		if err != nil {
+			return c.reply(id, wire.Error{Msg: err.Error()})
+		}
+		return c.reply(id, wire.CancelOK{Job: m.Job, Canceled: j.requestCancel()})
+	case wire.Result:
+		j, err := c.srv.lookup(m.Job)
+		if err != nil {
+			return c.reply(id, wire.Error{Msg: err.Error()})
+		}
+		fr, err := j.result()
+		if err != nil {
+			return c.reply(id, wire.Error{Msg: err.Error()})
+		}
+		return c.reply(id, wire.ResultOK{Job: m.Job, Fleet: fr})
+	case wire.Metrics:
+		return c.reply(id, wire.MetricsOK{Snap: c.srv.reg.Snapshot()})
+	case wire.Watch:
+		j, err := c.srv.lookup(m.Job)
+		if err != nil {
+			return c.reply(id, wire.Error{Msg: err.Error()})
+		}
+		w := &watcher{c: c, reqID: id}
+		if ok, st := j.addWatcher(w); !ok {
+			// Job already finished: the stream is just its epitaph.
+			return c.reply(id, wire.Done{Job: st.Job, State: st.State, Err: st.Err})
+		}
+		return true
+	default:
+		return c.reply(id, wire.Error{Msg: fmt.Sprintf("unexpected message kind %d", m.Kind())})
+	}
+}

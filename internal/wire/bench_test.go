@@ -1,0 +1,27 @@
+package wire
+
+import (
+	"testing"
+)
+
+// BenchmarkWireEncode measures structural encode throughput for the
+// largest frame class the daemon emits — a ResultOK carrying a full
+// FleetResult — reporting wire-encode-MB-s for the tracked benchmark
+// schema in BENCH_daemon.json.
+func BenchmarkWireEncode(b *testing.B) {
+	exp := uint32(7)
+	fleet := sampleFleet(&exp)
+	var e Encoder
+	AppendMessage(&e, 1, ResultOK{Job: 1, Fleet: fleet})
+	frame := len(e.Bytes())
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		AppendMessage(&e, uint64(i), ResultOK{Job: 1, Fleet: fleet})
+	}
+	b.StopTimer()
+	mb := float64(frame) * float64(b.N) / (1 << 20)
+	b.ReportMetric(mb/b.Elapsed().Seconds(), "wire-encode-MB-s")
+}

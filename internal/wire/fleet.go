@@ -1,0 +1,564 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"protean"
+	"protean/internal/obs"
+)
+
+// This file frames the facade's result types — FleetResult with its
+// nested NodeResult/JobResult/Result/ProcResult trees, the aggregate
+// statistics blocks and obs metric snapshots — as fixed-arity codec
+// arrays, one hand-written field list per type. The encoding is lossless
+// and positional: decode(encode(fr)) reconstructs a FleetResult whose
+// canonical JSON is byte-identical to the original's (pinned by the
+// wire round-trip tests and the daemon's end-to-end golden test).
+
+func encodeUint32(e *Encoder, v uint32) { e.Uint(uint64(v)) }
+
+func decodeUint32(d *Decoder) (uint32, error) {
+	v, err := d.Uint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: value %d overflows uint32", ErrCodec, v)
+	}
+	return uint32(v), nil
+}
+
+func decodeInt(d *Decoder) (int, error) {
+	v, err := d.Int()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		return 0, fmt.Errorf("%w: value %d overflows int32", ErrCodec, v)
+	}
+	return int(v), nil
+}
+
+func encodeCIS(e *Encoder, s protean.CISStats) {
+	e.ArrayHeader(10)
+	e.Uint(s.Faults)
+	e.Uint(s.MappingFaults)
+	e.Uint(s.Loads)
+	e.Uint(s.Restores)
+	e.Uint(s.Evictions)
+	e.Uint(s.SoftMaps)
+	e.Uint(s.ShareHits)
+	e.Uint(s.ConfigBytes)
+	e.Uint(s.ConfigCycles)
+	e.Uint(s.PageIns)
+}
+
+func decodeCIS(d *Decoder) (s protean.CISStats, err error) {
+	if err = d.ArrayHeaderExact(10); err != nil {
+		return s, err
+	}
+	for _, p := range []*uint64{
+		&s.Faults, &s.MappingFaults, &s.Loads, &s.Restores, &s.Evictions,
+		&s.SoftMaps, &s.ShareHits, &s.ConfigBytes, &s.ConfigCycles, &s.PageIns,
+	} {
+		if *p, err = d.Uint(); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func encodeKernel(e *Encoder, s protean.KernelStats) {
+	e.ArrayHeader(7)
+	e.Uint(s.ContextSwitches)
+	e.Uint(s.TimerIRQs)
+	e.Uint(s.Syscalls)
+	e.Uint(s.Kills)
+	e.Uint(s.KernelCycles)
+	e.Uint(s.MaxIRQLatency)
+	e.Uint(s.SumIRQLatency)
+}
+
+func decodeKernel(d *Decoder) (s protean.KernelStats, err error) {
+	if err = d.ArrayHeaderExact(7); err != nil {
+		return s, err
+	}
+	for _, p := range []*uint64{
+		&s.ContextSwitches, &s.TimerIRQs, &s.Syscalls, &s.Kills,
+		&s.KernelCycles, &s.MaxIRQLatency, &s.SumIRQLatency,
+	} {
+		if *p, err = d.Uint(); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func encodeRFU(e *Encoder, s protean.RFUStats) {
+	e.ArrayHeader(9)
+	e.Uint(s.HWDispatches)
+	e.Uint(s.SWDispatches)
+	e.Uint(s.Faults)
+	e.Uint(s.Completions)
+	e.Uint(s.Aborts)
+	e.Uint(s.ExecCycles)
+	e.Uint(s.ConfigLoads)
+	e.Uint(s.StateSaves)
+	e.Uint(s.StateRestores)
+}
+
+func decodeRFU(d *Decoder) (s protean.RFUStats, err error) {
+	if err = d.ArrayHeaderExact(9); err != nil {
+		return s, err
+	}
+	for _, p := range []*uint64{
+		&s.HWDispatches, &s.SWDispatches, &s.Faults, &s.Completions,
+		&s.Aborts, &s.ExecCycles, &s.ConfigLoads, &s.StateSaves, &s.StateRestores,
+	} {
+		if *p, err = d.Uint(); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func encodeTLB(e *Encoder, s protean.TLBStats) {
+	e.ArrayHeader(2)
+	e.Uint(s.Lookups)
+	e.Uint(s.Misses)
+}
+
+func decodeTLB(d *Decoder) (s protean.TLBStats, err error) {
+	if err = d.ArrayHeaderExact(2); err != nil {
+		return s, err
+	}
+	if s.Lookups, err = d.Uint(); err != nil {
+		return s, err
+	}
+	s.Misses, err = d.Uint()
+	return s, err
+}
+
+func encodeLatency(e *Encoder, s protean.LatencyStats) {
+	e.ArrayHeader(6)
+	e.Int(int64(s.Jobs))
+	e.Uint(s.Mean)
+	e.Uint(s.P50)
+	e.Uint(s.P95)
+	e.Uint(s.P99)
+	e.Uint(s.Max)
+}
+
+func decodeLatency(d *Decoder) (s protean.LatencyStats, err error) {
+	if err = d.ArrayHeaderExact(6); err != nil {
+		return s, err
+	}
+	if s.Jobs, err = decodeInt(d); err != nil {
+		return s, err
+	}
+	for _, p := range []*uint64{&s.Mean, &s.P50, &s.P95, &s.P99, &s.Max} {
+		if *p, err = d.Uint(); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func encodeProc(e *Encoder, p protean.ProcResult) {
+	e.ArrayHeader(11)
+	encodeUint32(e, p.PID)
+	e.Str(p.Name)
+	e.Str(p.Workload)
+	e.Int(int64(p.State))
+	encodeUint32(e, p.ExitCode)
+	if p.Expected == nil {
+		e.Nil()
+	} else {
+		encodeUint32(e, *p.Expected)
+	}
+	e.Uint(p.Start)
+	e.Uint(p.Completion)
+	e.Uint(p.Switches)
+	e.Uint(p.Faults)
+	e.Uint(p.Instrs)
+}
+
+func decodeProc(d *Decoder) (p protean.ProcResult, err error) {
+	if err = d.ArrayHeaderExact(11); err != nil {
+		return p, err
+	}
+	if p.PID, err = decodeUint32(d); err != nil {
+		return p, err
+	}
+	if p.Name, err = d.Str(); err != nil {
+		return p, err
+	}
+	if p.Workload, err = d.Str(); err != nil {
+		return p, err
+	}
+	st, err := decodeInt(d)
+	if err != nil {
+		return p, err
+	}
+	p.State = protean.ProcState(st)
+	if p.ExitCode, err = decodeUint32(d); err != nil {
+		return p, err
+	}
+	if !d.Nil() {
+		exp, err := decodeUint32(d)
+		if err != nil {
+			return p, err
+		}
+		p.Expected = &exp
+	}
+	for _, q := range []*uint64{&p.Start, &p.Completion, &p.Switches, &p.Faults, &p.Instrs} {
+		if *q, err = d.Uint(); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+func encodeResult(e *Encoder, r *protean.Result) {
+	if r == nil {
+		e.Nil()
+		return
+	}
+	e.ArrayHeader(11)
+	e.Uint(r.Cycles)
+	e.Uint(r.Completion)
+	e.ArrayHeader(len(r.Procs))
+	for _, p := range r.Procs {
+		encodeProc(e, p)
+	}
+	encodeCIS(e, r.CIS)
+	encodeKernel(e, r.Kernel)
+	encodeRFU(e, r.RFU)
+	encodeTLB(e, r.TLB1)
+	encodeTLB(e, r.TLB2)
+	e.Str(r.Console)
+	e.Str(r.Trace)
+	encodeSnapshotPtr(e, r.Metrics)
+}
+
+func decodeResult(d *Decoder) (*protean.Result, error) {
+	if d.Nil() {
+		return nil, nil
+	}
+	if err := d.ArrayHeaderExact(11); err != nil {
+		return nil, err
+	}
+	r := &protean.Result{}
+	var err error
+	if r.Cycles, err = d.Uint(); err != nil {
+		return nil, err
+	}
+	if r.Completion, err = d.Uint(); err != nil {
+		return nil, err
+	}
+	n, err := d.ArrayHeader()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		p, err := decodeProc(d)
+		if err != nil {
+			return nil, err
+		}
+		r.Procs = append(r.Procs, p)
+	}
+	if r.CIS, err = decodeCIS(d); err != nil {
+		return nil, err
+	}
+	if r.Kernel, err = decodeKernel(d); err != nil {
+		return nil, err
+	}
+	if r.RFU, err = decodeRFU(d); err != nil {
+		return nil, err
+	}
+	if r.TLB1, err = decodeTLB(d); err != nil {
+		return nil, err
+	}
+	if r.TLB2, err = decodeTLB(d); err != nil {
+		return nil, err
+	}
+	if r.Console, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.Trace, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.Metrics, err = decodeSnapshotPtr(d); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func encodeNode(e *Encoder, n protean.NodeResult) {
+	e.ArrayHeader(9)
+	e.Int(int64(n.Node))
+	e.Int(int64(n.Class))
+	e.Int(int64(n.ClockScale))
+	e.Int(int64(n.Jobs))
+	e.Uint(n.Busy)
+	e.Uint(n.ColdLoads)
+	e.Uint(n.WarmHits)
+	e.Uint(n.FetchCycles)
+	e.Uint(n.Completion)
+}
+
+func decodeNode(d *Decoder) (n protean.NodeResult, err error) {
+	if err = d.ArrayHeaderExact(9); err != nil {
+		return n, err
+	}
+	for _, p := range []*int{&n.Node, &n.Class, &n.ClockScale, &n.Jobs} {
+		if *p, err = decodeInt(d); err != nil {
+			return n, err
+		}
+	}
+	for _, p := range []*uint64{&n.Busy, &n.ColdLoads, &n.WarmHits, &n.FetchCycles, &n.Completion} {
+		if *p, err = d.Uint(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func encodeJob(e *Encoder, j protean.JobResult) {
+	e.ArrayHeader(15)
+	e.Int(int64(j.ID))
+	e.Str(j.Label)
+	e.Str(j.Workload)
+	e.Int(int64(j.Node))
+	e.Uint(j.Arrival)
+	e.Uint(j.Start)
+	e.Uint(j.Completion)
+	e.Uint(j.ColdLoads)
+	e.Uint(j.WarmHits)
+	e.Uint(j.FetchCycles)
+	e.Uint(j.Latency)
+	e.Bool(j.Shed)
+	e.Bool(j.Deferred)
+	e.Uint(j.DeferCycles)
+	encodeResult(e, j.Run)
+}
+
+func decodeJob(d *Decoder) (j protean.JobResult, err error) {
+	if err = d.ArrayHeaderExact(15); err != nil {
+		return j, err
+	}
+	if j.ID, err = decodeInt(d); err != nil {
+		return j, err
+	}
+	if j.Label, err = d.Str(); err != nil {
+		return j, err
+	}
+	if j.Workload, err = d.Str(); err != nil {
+		return j, err
+	}
+	if j.Node, err = decodeInt(d); err != nil {
+		return j, err
+	}
+	for _, p := range []*uint64{&j.Arrival, &j.Start, &j.Completion, &j.ColdLoads, &j.WarmHits, &j.FetchCycles, &j.Latency} {
+		if *p, err = d.Uint(); err != nil {
+			return j, err
+		}
+	}
+	if j.Shed, err = d.Bool(); err != nil {
+		return j, err
+	}
+	if j.Deferred, err = d.Bool(); err != nil {
+		return j, err
+	}
+	if j.DeferCycles, err = d.Uint(); err != nil {
+		return j, err
+	}
+	j.Run, err = decodeResult(d)
+	return j, err
+}
+
+func encodeFleetResult(e *Encoder, fr *protean.FleetResult) {
+	if fr == nil {
+		e.Nil()
+		return
+	}
+	e.ArrayHeader(16)
+	e.Str(fr.Policy)
+	e.ArrayHeader(len(fr.Nodes))
+	for _, n := range fr.Nodes {
+		encodeNode(e, n)
+	}
+	e.ArrayHeader(len(fr.Jobs))
+	for _, j := range fr.Jobs {
+		encodeJob(e, j)
+	}
+	e.Uint(fr.Makespan)
+	e.Uint(fr.Busy)
+	e.Uint(fr.ColdLoads)
+	e.Uint(fr.WarmHits)
+	e.Uint(fr.FetchCycles)
+	e.Int(int64(fr.Shed))
+	e.Int(int64(fr.Deferred))
+	e.Uint(fr.DeferCycles)
+	encodeLatency(e, fr.Latency)
+	encodeCIS(e, fr.CIS)
+	encodeKernel(e, fr.Kernel)
+	encodeRFU(e, fr.RFU)
+	encodeSnapshotPtr(e, fr.Metrics)
+}
+
+func decodeFleetResult(d *Decoder) (*protean.FleetResult, error) {
+	if d.Nil() {
+		return nil, nil
+	}
+	if err := d.ArrayHeaderExact(16); err != nil {
+		return nil, err
+	}
+	fr := &protean.FleetResult{}
+	var err error
+	if fr.Policy, err = d.Str(); err != nil {
+		return nil, err
+	}
+	nn, err := d.ArrayHeader()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nn; i++ {
+		n, err := decodeNode(d)
+		if err != nil {
+			return nil, err
+		}
+		fr.Nodes = append(fr.Nodes, n)
+	}
+	nj, err := d.ArrayHeader()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nj; i++ {
+		j, err := decodeJob(d)
+		if err != nil {
+			return nil, err
+		}
+		fr.Jobs = append(fr.Jobs, j)
+	}
+	for _, p := range []*uint64{&fr.Makespan, &fr.Busy, &fr.ColdLoads, &fr.WarmHits, &fr.FetchCycles} {
+		if *p, err = d.Uint(); err != nil {
+			return nil, err
+		}
+	}
+	if fr.Shed, err = decodeInt(d); err != nil {
+		return nil, err
+	}
+	if fr.Deferred, err = decodeInt(d); err != nil {
+		return nil, err
+	}
+	if fr.DeferCycles, err = d.Uint(); err != nil {
+		return nil, err
+	}
+	if fr.Latency, err = decodeLatency(d); err != nil {
+		return nil, err
+	}
+	if fr.CIS, err = decodeCIS(d); err != nil {
+		return nil, err
+	}
+	if fr.Kernel, err = decodeKernel(d); err != nil {
+		return nil, err
+	}
+	if fr.RFU, err = decodeRFU(d); err != nil {
+		return nil, err
+	}
+	if fr.Metrics, err = decodeSnapshotPtr(d); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+func encodeMetric(e *Encoder, m obs.Metric) {
+	e.ArrayHeader(9)
+	e.Str(m.Name)
+	e.Str(string(m.Kind))
+	e.Str(m.Help)
+	e.Uint(m.Value)
+	e.Int(m.Gauge)
+	e.Uints(m.Bounds)
+	e.Uints(m.Counts)
+	e.Uint(m.Sum)
+	e.Uint(m.Count)
+}
+
+func decodeMetric(d *Decoder) (m obs.Metric, err error) {
+	if err = d.ArrayHeaderExact(9); err != nil {
+		return m, err
+	}
+	if m.Name, err = d.Str(); err != nil {
+		return m, err
+	}
+	kind, err := d.Str()
+	if err != nil {
+		return m, err
+	}
+	m.Kind = obs.Kind(kind)
+	if m.Help, err = d.Str(); err != nil {
+		return m, err
+	}
+	if m.Value, err = d.Uint(); err != nil {
+		return m, err
+	}
+	if m.Gauge, err = d.Int(); err != nil {
+		return m, err
+	}
+	if m.Bounds, err = d.Uints(); err != nil {
+		return m, err
+	}
+	if m.Counts, err = d.Uints(); err != nil {
+		return m, err
+	}
+	if m.Sum, err = d.Uint(); err != nil {
+		return m, err
+	}
+	m.Count, err = d.Uint()
+	return m, err
+}
+
+func encodeSnapshot(e *Encoder, s protean.Metrics) {
+	e.ArrayHeader(len(s.Metrics))
+	for _, m := range s.Metrics {
+		encodeMetric(e, m)
+	}
+}
+
+func decodeSnapshot(d *Decoder) (protean.Metrics, error) {
+	var s protean.Metrics
+	n, err := d.ArrayHeader()
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		m, err := decodeMetric(d)
+		if err != nil {
+			return s, err
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	return s, nil
+}
+
+func encodeSnapshotPtr(e *Encoder, s *protean.Metrics) {
+	if s == nil {
+		e.Nil()
+		return
+	}
+	encodeSnapshot(e, *s)
+}
+
+func decodeSnapshotPtr(d *Decoder) (*protean.Metrics, error) {
+	if d.Nil() {
+		return nil, nil
+	}
+	s, err := decodeSnapshot(d)
+	if err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame caps one frame's payload. A Scenario spec for the maximum
+// 65536-job fleet is a few megabytes of JSON and the largest FleetResult
+// a few tens; 64 MiB leaves an order of magnitude of headroom while
+// keeping a hostile length prefix from allocating unbounded memory.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrame.
+var ErrFrameTooLarge = fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+
+// WriteFrame writes one frame: a 4-byte big-endian payload length
+// followed by the payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload, reusing buf when it is large
+// enough. The payload is read in one pass into its final buffer — the
+// caller decodes it in place, so a frame is buffered exactly once.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

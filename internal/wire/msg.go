@@ -1,0 +1,520 @@
+package wire
+
+import (
+	"fmt"
+
+	"protean"
+)
+
+// Version is the protocol revision negotiated by Hello/HelloOK. A server
+// rejects clients whose major revision differs.
+const Version = 1
+
+// Message kinds — the first element of every message envelope.
+const (
+	KHello     = 1  // c→s: version handshake
+	KHelloOK   = 2  // s→c: handshake accepted
+	KSubmit    = 3  // c→s: scenario submission (spec JSON as bin)
+	KSubmitOK  = 4  // s→c: job accepted, carries the job id
+	KStatus    = 5  // c→s: job status poll
+	KStatusOK  = 6  // s→c: job state
+	KCancel    = 7  // c→s: cancel a job
+	KCancelOK  = 8  // s→c: cancel outcome
+	KResult    = 9  // c→s: retrieve a finished job's FleetResult
+	KResultOK  = 10 // s→c: the framed FleetResult
+	KMetrics   = 11 // c→s: daemon metrics snapshot request
+	KMetricsOK = 12 // s→c: the framed obs snapshot
+	KWatch     = 13 // c→s: subscribe to a job's event stream
+	KEvent     = 14 // s→c: one streamed progress/Sink event
+	KEventGap  = 15 // s→c: counted-drop marker for a slow reader
+	KDone      = 16 // s→c: watched job finished; terminates the stream
+	KError     = 17 // s→c: request failed
+)
+
+// Job states carried by StatusOK and Done.
+const (
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Msg is one protocol message body. The envelope a frame carries is
+//
+//	[kind uint, id uint64, body array]
+//
+// where id correlates a response with its request (0 for unsolicited
+// stream frames) and body is a fixed-arity array per kind — positional
+// fields, no reflection, no field names on the wire.
+type Msg interface {
+	// Kind returns the message's envelope tag.
+	Kind() uint64
+	// encodeBody appends the body array.
+	encodeBody(e *Encoder)
+}
+
+// Hello opens a connection.
+type Hello struct {
+	Version uint64
+}
+
+// HelloOK acknowledges a Hello.
+type HelloOK struct {
+	Version uint64
+	Server  string
+}
+
+// Submit submits a scenario, as the spec's canonical JSON bytes. JSON
+// stays the spec's one serialized form (golden files, proteansim and the
+// daemon all agree byte-for-byte); the binary codec frames it.
+type Submit struct {
+	Spec []byte
+}
+
+// SubmitOK acknowledges a submission.
+type SubmitOK struct {
+	Job uint64
+}
+
+// Status polls one job.
+type Status struct {
+	Job uint64
+}
+
+// StatusOK reports a job's state; Makespan is set once done, Err once
+// failed.
+type StatusOK struct {
+	Job      uint64
+	State    string
+	Makespan uint64
+	Err      string
+}
+
+// Cancel requests a job's cancellation.
+type Cancel struct {
+	Job uint64
+}
+
+// CancelOK reports the cancel outcome; Canceled is false when the job
+// had already finished.
+type CancelOK struct {
+	Job      uint64
+	Canceled bool
+}
+
+// Result requests a finished job's FleetResult.
+type Result struct {
+	Job uint64
+}
+
+// ResultOK carries the full FleetResult, structurally encoded.
+type ResultOK struct {
+	Job   uint64
+	Fleet *protean.FleetResult
+}
+
+// Metrics requests the daemon's metrics snapshot.
+type Metrics struct{}
+
+// MetricsOK carries the daemon's metrics snapshot.
+type MetricsOK struct {
+	Snap protean.Metrics
+}
+
+// Watch subscribes the connection to a job's event stream. The stream
+// delivers Event frames (and EventGap markers when the reader lagged)
+// until a Done frame carrying the watch's request id closes it.
+type Watch struct {
+	Job uint64
+}
+
+// Event is one streamed progress event for a watched job.
+type Event struct {
+	Job uint64
+	Ev  protean.Event
+}
+
+// EventGap reports that Dropped event frames for the job were shed
+// because the connection's write queue was full — the wire twin of the
+// trace ring's counted-overwrite contract: lossy, but never silently.
+type EventGap struct {
+	Job     uint64
+	Dropped uint64
+}
+
+// Done closes a watch stream with the job's final state.
+type Done struct {
+	Job   uint64
+	State string
+	Err   string
+}
+
+// Error reports a failed request.
+type Error struct {
+	Msg string
+}
+
+func (Hello) Kind() uint64     { return KHello }
+func (HelloOK) Kind() uint64   { return KHelloOK }
+func (Submit) Kind() uint64    { return KSubmit }
+func (SubmitOK) Kind() uint64  { return KSubmitOK }
+func (Status) Kind() uint64    { return KStatus }
+func (StatusOK) Kind() uint64  { return KStatusOK }
+func (Cancel) Kind() uint64    { return KCancel }
+func (CancelOK) Kind() uint64  { return KCancelOK }
+func (Result) Kind() uint64    { return KResult }
+func (ResultOK) Kind() uint64  { return KResultOK }
+func (Metrics) Kind() uint64   { return KMetrics }
+func (MetricsOK) Kind() uint64 { return KMetricsOK }
+func (Watch) Kind() uint64     { return KWatch }
+func (Event) Kind() uint64     { return KEvent }
+func (EventGap) Kind() uint64  { return KEventGap }
+func (Done) Kind() uint64      { return KDone }
+func (Error) Kind() uint64     { return KError }
+
+func (m Hello) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Uint(m.Version)
+}
+
+func (m HelloOK) encodeBody(e *Encoder) {
+	e.ArrayHeader(2)
+	e.Uint(m.Version)
+	e.Str(m.Server)
+}
+
+func (m Submit) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Bin(m.Spec)
+}
+
+func (m SubmitOK) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Uint(m.Job)
+}
+
+func (m Status) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Uint(m.Job)
+}
+
+func (m StatusOK) encodeBody(e *Encoder) {
+	e.ArrayHeader(4)
+	e.Uint(m.Job)
+	e.Str(m.State)
+	e.Uint(m.Makespan)
+	e.Str(m.Err)
+}
+
+func (m Cancel) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Uint(m.Job)
+}
+
+func (m CancelOK) encodeBody(e *Encoder) {
+	e.ArrayHeader(2)
+	e.Uint(m.Job)
+	e.Bool(m.Canceled)
+}
+
+func (m Result) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Uint(m.Job)
+}
+
+func (m ResultOK) encodeBody(e *Encoder) {
+	e.ArrayHeader(2)
+	e.Uint(m.Job)
+	encodeFleetResult(e, m.Fleet)
+}
+
+func (m Metrics) encodeBody(e *Encoder) {
+	e.ArrayHeader(0)
+}
+
+func (m MetricsOK) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	encodeSnapshot(e, m.Snap)
+}
+
+func (m Watch) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Uint(m.Job)
+}
+
+func (m Event) encodeBody(e *Encoder) {
+	e.ArrayHeader(8)
+	e.Uint(m.Job)
+	e.Int(int64(m.Ev.Kind))
+	e.Str(m.Ev.Label)
+	e.Uint(uint64(m.Ev.PID))
+	e.Uint(m.Ev.Cycle)
+	e.Int(int64(m.Ev.Procs))
+	e.Bool(m.Ev.OK)
+	e.Str(m.Ev.Message)
+}
+
+func (m EventGap) encodeBody(e *Encoder) {
+	e.ArrayHeader(2)
+	e.Uint(m.Job)
+	e.Uint(m.Dropped)
+}
+
+func (m Done) encodeBody(e *Encoder) {
+	e.ArrayHeader(3)
+	e.Uint(m.Job)
+	e.Str(m.State)
+	e.Str(m.Err)
+}
+
+func (m Error) encodeBody(e *Encoder) {
+	e.ArrayHeader(1)
+	e.Str(m.Msg)
+}
+
+// AppendMessage appends one enveloped message to the encoder: the frame
+// payload for WriteFrame.
+func AppendMessage(e *Encoder, id uint64, m Msg) {
+	e.ArrayHeader(3)
+	e.Uint(m.Kind())
+	e.Uint(id)
+	m.encodeBody(e)
+}
+
+// EncodeMessage encodes one enveloped message as a fresh payload.
+func EncodeMessage(id uint64, m Msg) []byte {
+	var e Encoder
+	AppendMessage(&e, id, m)
+	return e.Bytes()
+}
+
+// DecodeMessage decodes one enveloped message from a frame payload,
+// requiring the payload to hold exactly one envelope. Byte slices in the
+// returned message (Submit.Spec) alias the payload.
+func DecodeMessage(payload []byte) (id uint64, m Msg, err error) {
+	d := NewDecoder(payload)
+	id, m, err = ReadMessage(d)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !d.Done() {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after message", ErrCodec, len(d.Rest()))
+	}
+	return id, m, nil
+}
+
+// ReadMessage decodes one enveloped message from the decoder.
+func ReadMessage(d *Decoder) (uint64, Msg, error) {
+	if err := d.ArrayHeaderExact(3); err != nil {
+		return 0, nil, err
+	}
+	kind, err := d.Uint()
+	if err != nil {
+		return 0, nil, err
+	}
+	id, err := d.Uint()
+	if err != nil {
+		return 0, nil, err
+	}
+	m, err := decodeBody(d, kind)
+	if err != nil {
+		return 0, nil, fmt.Errorf("message kind %d: %w", kind, err)
+	}
+	return id, m, nil
+}
+
+func decodeBody(d *Decoder, kind uint64) (Msg, error) {
+	switch kind {
+	case KHello:
+		var m Hello
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Version, err = d.Uint()
+		return m, err
+	case KHelloOK:
+		var m HelloOK
+		if err := d.ArrayHeaderExact(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if m.Version, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		m.Server, err = d.Str()
+		return m, err
+	case KSubmit:
+		var m Submit
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Spec, err = d.Bin()
+		return m, err
+	case KSubmitOK:
+		var m SubmitOK
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Job, err = d.Uint()
+		return m, err
+	case KStatus:
+		var m Status
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Job, err = d.Uint()
+		return m, err
+	case KStatusOK:
+		var m StatusOK
+		if err := d.ArrayHeaderExact(4); err != nil {
+			return nil, err
+		}
+		var err error
+		if m.Job, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		if m.State, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if m.Makespan, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		m.Err, err = d.Str()
+		return m, err
+	case KCancel:
+		var m Cancel
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Job, err = d.Uint()
+		return m, err
+	case KCancelOK:
+		var m CancelOK
+		if err := d.ArrayHeaderExact(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if m.Job, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		m.Canceled, err = d.Bool()
+		return m, err
+	case KResult:
+		var m Result
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Job, err = d.Uint()
+		return m, err
+	case KResultOK:
+		var m ResultOK
+		if err := d.ArrayHeaderExact(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if m.Job, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		m.Fleet, err = decodeFleetResult(d)
+		return m, err
+	case KMetrics:
+		if err := d.ArrayHeaderExact(0); err != nil {
+			return nil, err
+		}
+		return Metrics{}, nil
+	case KMetricsOK:
+		var m MetricsOK
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Snap, err = decodeSnapshot(d)
+		return m, err
+	case KWatch:
+		var m Watch
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Job, err = d.Uint()
+		return m, err
+	case KEvent:
+		var m Event
+		if err := d.ArrayHeaderExact(8); err != nil {
+			return nil, err
+		}
+		var err error
+		if m.Job, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		k, err := d.Int()
+		if err != nil {
+			return nil, err
+		}
+		m.Ev.Kind = protean.EventKind(k)
+		if m.Ev.Label, err = d.Str(); err != nil {
+			return nil, err
+		}
+		pid, err := d.Uint()
+		if err != nil {
+			return nil, err
+		}
+		if pid > 0xffffffff {
+			return nil, fmt.Errorf("%w: pid %d overflows uint32", ErrCodec, pid)
+		}
+		m.Ev.PID = uint32(pid)
+		if m.Ev.Cycle, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		procs, err := d.Int()
+		if err != nil {
+			return nil, err
+		}
+		m.Ev.Procs = int(procs)
+		if m.Ev.OK, err = d.Bool(); err != nil {
+			return nil, err
+		}
+		m.Ev.Message, err = d.Str()
+		return m, err
+	case KEventGap:
+		var m EventGap
+		if err := d.ArrayHeaderExact(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if m.Job, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		m.Dropped, err = d.Uint()
+		return m, err
+	case KDone:
+		var m Done
+		if err := d.ArrayHeaderExact(3); err != nil {
+			return nil, err
+		}
+		var err error
+		if m.Job, err = d.Uint(); err != nil {
+			return nil, err
+		}
+		if m.State, err = d.Str(); err != nil {
+			return nil, err
+		}
+		m.Err, err = d.Str()
+		return m, err
+	case KError:
+		var m Error
+		if err := d.ArrayHeaderExact(1); err != nil {
+			return nil, err
+		}
+		var err error
+		m.Msg, err = d.Str()
+		return m, err
+	}
+	return nil, fmt.Errorf("%w: unknown message kind %d", ErrCodec, kind)
+}

@@ -26,8 +26,17 @@ func (sc Scenario) MarshalJSON() ([]byte, error) {
 // LoadScenario(MarshalJSON(sc)) == sc is pinned by the golden-file
 // tests.
 func LoadScenario(data []byte) (Scenario, error) {
+	return ReadScenario(bytes.NewReader(data))
+}
+
+// ReadScenario parses a JSON scenario spec from a stream, with the same
+// strictness as LoadScenario: unknown fields and trailing content are
+// rejected and the result is validated. It exists so callers holding a
+// file, socket, or decoder-positioned stream need not buffer the spec
+// themselves.
+func ReadScenario(r io.Reader) (Scenario, error) {
 	var sc Scenario
-	dec := json.NewDecoder(bytes.NewReader(data))
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sc); err != nil {
 		return Scenario{}, fmt.Errorf("protean: parse scenario: %w", err)
